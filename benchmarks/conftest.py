@@ -1,0 +1,15 @@
+"""Benchmark configuration.
+
+Every figure/table of the paper has one benchmark here.  Each benchmark runs
+the corresponding experiment (quick scale), asserts the paper's qualitative
+shape (who wins, by roughly what factor, where crossovers fall), and prints
+the regenerated rows.  ``pytest benchmarks/ --benchmark-only`` is the entry
+point; timings are the experiment wall-clock costs.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

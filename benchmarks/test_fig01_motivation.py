@@ -1,0 +1,22 @@
+"""E1 — Fig. 1: device plugin vs time sharing under extreme workload."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    result = run_once(benchmark, lambda: fig01_motivation.run(quick=True))
+    print()
+    print(fig01_motivation.format_result(result))
+
+    plugin, ts = result.device_plugin, result.time_sharing
+    # Paper shape (Fig. 1b): time sharing pushes utilization above ~95%...
+    assert ts.gpu_utilization > 95.0
+    # ...while SM occupancy stays below 10% — busy GPU, idle SMs.
+    assert ts.sm_occupancy < 10.0
+    # One exclusive pod cannot drive the device harder than the shared case.
+    assert plugin.gpu_utilization < ts.gpu_utilization
+    assert plugin.sm_occupancy < 10.0

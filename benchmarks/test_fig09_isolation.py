@@ -1,0 +1,21 @@
+"""E3 — Fig. 9: time-only sharing interferes; spatio-temporal isolates."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig09_isolation
+
+
+def test_fig09_isolation(benchmark):
+    result = run_once(benchmark, lambda: fig09_isolation.run(quick=True))
+    print()
+    print(fig09_isolation.format_result(result))
+
+    # Paper Fig. 9a: with time sharing only, the elastic RNNT pod
+    # (80% + 50% > 100%) visibly drags ResNet's throughput...
+    assert result.time_sharing.interference_drop > 0.15
+    # ...Fig. 9b: with 24%/24% partitions there is no mutual influence.
+    assert result.spatio_temporal.interference_drop < 0.05
+    # And isolation costs nothing when the neighbour is idle.
+    assert result.spatio_temporal.resnet_off_mean > 0

@@ -1,0 +1,36 @@
+"""E4 — Fig. 10: spatial sharing performance panels (3 models x 3 configs)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig10_spatial
+
+
+def test_fig10_spatial_sharing(benchmark):
+    result = run_once(benchmark, lambda: fig10_spatial.run(quick=True))
+    print()
+    print(fig10_spatial.format_result(result))
+
+    for model in ("resnet50", "rnnt", "gnmt"):
+        racing8 = result.cell(model, "Racing", 8)
+        spatial8 = result.cell(model, "SMs-12%", 8)
+        # Throughput panel: spatial sharing beats racing at 8 replicas...
+        assert spatial8.throughput > 1.3 * racing8.throughput, model
+        # ...tail-latency panel: with much lower P95...
+        assert spatial8.p95_ms < racing8.p95_ms, model
+        # ...occupancy panel: and much higher SM occupancy.
+        assert spatial8.sm_occupancy > 1.5 * racing8.sm_occupancy, model
+        # Racing gains nothing from more replicas (kernels serialise).
+        racing2 = result.cell(model, "Racing", 2)
+        assert racing8.throughput < 1.3 * racing2.throughput, model
+        # Spatial sharing scales with replicas.
+        spatial2 = result.cell(model, "SMs-12%", 2)
+        assert spatial8.throughput > 2.5 * spatial2.throughput, model
+
+    # §5.3 endpoints: RNNT 8 pods ≈ 40+ req/s with tail below ~500 ms vs a
+    # racing tail above 1250 ms.
+    rnnt8 = result.cell("rnnt", "SMs-12%", 8)
+    assert rnnt8.throughput > 38
+    assert rnnt8.p95_ms < 550
+    assert result.cell("rnnt", "Racing", 8).p95_ms > 1000

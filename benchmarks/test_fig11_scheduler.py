@@ -1,0 +1,30 @@
+"""E6 — Fig. 11: scheduler packing — 4 GPUs (time sharing) vs 1 (MRA)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig11_scheduler
+
+
+def test_fig11_scheduler_packing(benchmark):
+    result = run_once(benchmark, lambda: fig11_scheduler.run(quick=True))
+    print()
+    print(fig11_scheduler.format_result(result))
+
+    ts, fast = result.time_sharing, result.fast_scheduler
+    # The paper's core packing claim: time sharing spreads the eight pods
+    # over all four GPUs; the FaST-Scheduler needs exactly one.
+    assert ts.gpus_used == 4
+    assert fast.gpus_used == 1
+    # Three of the four FaST-side GPUs are completely idle.
+    assert sorted(fast.node_utilization)[:3] == [0.0, 0.0, 0.0]
+    # The active FaST GPU concentrates the load.
+    assert max(fast.node_utilization) > 90.0
+    assert max(ts.node_utilization) < 60.0
+    # Both mechanisms served the same offered load.
+    assert fast.total_throughput == pytest.approx(ts.total_throughput, rel=0.05)
+    # Utilization / occupancy increases point the paper's way.
+    assert result.utilization_increase > 1.0   # paper: +1.34x
+    assert result.occupancy_increase > 1.3     # paper: +3.13x

@@ -1,0 +1,24 @@
+"""E7 — Fig. 12: auto-scaling keeps the SLO under a stepped trace."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import fig12_autoscaling
+
+
+def test_fig12_autoscaling(benchmark):
+    result = run_once(benchmark, lambda: fig12_autoscaling.run(quick=True))
+    print()
+    print(fig12_autoscaling.format_result(result))
+
+    # Every request is eventually served (no drops during scaling).
+    assert result.completed == result.submitted
+    # The replica count tracks the workload staircase.
+    assert result.max_replicas >= 2
+    assert result.replica_counts[0] <= 2
+    # SLO violations stay rare overall (paper: <1%; ramps spike briefly).
+    assert result.overall_violation_ratio < 0.05
+    # Violations concentrate in ramp seconds: most seconds are fully clean.
+    clean = (result.violation_ratios == 0).mean()
+    assert clean >= 0.75

@@ -1,0 +1,28 @@
+"""E8 — Fig. 13: model-sharing memory footprints (exact MB bars)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig13_modelsharing
+from repro.experiments.fig13_modelsharing import PAPER_BARS
+
+
+def test_fig13_model_sharing(benchmark):
+    result = run_once(benchmark, lambda: fig13_modelsharing.run(quick=True))
+    print()
+    print(fig13_modelsharing.format_result(result))
+
+    # The measured ledger reproduces the paper's bars within ±1 MB.
+    for model, (original, shared_pod, server) in PAPER_BARS.items():
+        bar = result.bar(model)
+        assert bar.original_mb == pytest.approx(original, abs=1.5), model
+        assert bar.shared_pod_mb == pytest.approx(shared_pod, abs=1.5), model
+        assert bar.server_mb == pytest.approx(server, abs=1.5), model
+
+    # §5.5 capacity claims.
+    assert result.resnext_pods_without_sharing == 4
+    assert result.resnext_pods_with_sharing == 7
+    assert result.vit3_shared_mb == pytest.approx(9282, abs=5)
+    assert result.vit3_original_mb == pytest.approx(14205, abs=5)

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""FaST-Profiler sweep: throughput across the (SM, quota) grid (paper Fig. 8).
+
+Profiles ResNet and BERT over the paper's configuration grid, prints the
+throughput tables, and derives the quantities the FaST-Scheduler consumes:
+the SM-saturation knee and the most GPU-efficient configuration (max RPR).
+
+Run:  python examples/profiling_sweep.py
+"""
+
+from repro.faas import FunctionSpec
+from repro.profiler import ConfigurationServer, FaSTProfiler
+
+
+def main() -> None:
+    server = ConfigurationServer()  # the paper's grid: {6..100}% x {20..100}%
+    profiler = FaSTProfiler(config_server=server, trial_duration=10.0, warmup=1.0)
+
+    for model_name in ("resnet50", "bert"):
+        function = FunctionSpec.from_model(model_name, model_name)
+        points = profiler.profile_function(function)
+
+        print(f"\n=== {model_name}: throughput (req/s) ===")
+        print("  SM\\Q " + "".join(f"{q:>8.1f}" for q in server.temporal))
+        for sm in server.spatial:
+            row = sorted((p for p in points if p.sm_partition == sm), key=lambda p: p.quota)
+            print(f"  {sm:>4.0f}%" + "".join(f"{p.throughput:8.1f}" for p in row))
+
+        best = profiler.database.best_rpr(model_name)
+        print(
+            f"  p_eff (max RPS-per-Resource): S={best.sm_partition:.0f}%, "
+            f"Q={best.quota:.1f} -> {best.throughput:.1f} req/s "
+            f"(RPR {best.rpr:.2f})"
+        )
+        full = profiler.database.throughput_of(model_name, 100, 1.0)
+        for sm in server.spatial:
+            if profiler.database.throughput_of(model_name, sm, 1.0) >= 0.97 * full:
+                print(f"  SM saturation knee: ~{sm:.0f}% of SMs")
+                break
+
+
+if __name__ == "__main__":
+    main()

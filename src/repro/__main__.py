@@ -1,0 +1,88 @@
+"""Command-line entry point: run any paper experiment.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig08 [--quick] [--seed 42]
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig01_motivation,
+    fig08_profiling,
+    fig09_isolation,
+    fig10_spatial,
+    fig11_scheduler,
+    fig12_autoscaling,
+    fig13_modelsharing,
+    headline,
+)
+
+_SIMPLE = {
+    "fig01": fig01_motivation,
+    "fig08": fig08_profiling,
+    "fig09": fig09_isolation,
+    "fig10": fig10_spatial,
+    "fig11": fig11_scheduler,
+    "fig12": fig12_autoscaling,
+    "fig13": fig13_modelsharing,
+    "headline": headline,
+}
+
+
+def _run_ablations(quick: bool, seed: int) -> str:
+    duration = 5.0 if quick else 12.0
+    placement = ablations.run_placement_ablation(seed=seed, pods=200)
+    tokens = ablations.run_token_ablation(duration=duration, seed=seed)
+    priority = ablations.run_priority_ablation(duration=duration, seed=seed)
+    return ablations.format_results(placement, tokens, priority)
+
+
+def run_one(name: str, quick: bool, seed: int) -> str:
+    if name == "ablations":
+        return _run_ablations(quick, seed)
+    module = _SIMPLE[name]
+    kwargs = {"quick": quick, "seed": seed}
+    result = module.run(**kwargs)
+    return module.format_result(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate FaST-GShare (ICPP 2023) experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_SIMPLE) + ["ablations", "all", "list"],
+        help="which experiment to run (or 'list' / 'all')",
+    )
+    parser.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_SIMPLE) + ["ablations"]:
+            doc = (_SIMPLE.get(name) or ablations).__doc__ or ""
+            print(f"{name:<10} {doc.strip().splitlines()[0]}")
+        return 0
+
+    names = sorted(_SIMPLE) + ["ablations"] if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        output = run_one(name, args.quick, args.seed)
+        elapsed = time.perf_counter() - start
+        print(output)
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

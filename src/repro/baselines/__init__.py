@@ -1,0 +1,38 @@
+"""Baseline systems the paper compares against.
+
+Each helper builds a fully wired platform in the corresponding mode:
+
+* :func:`build_exclusive` — the NVIDIA device plugin (Fig. 1a): whole-GPU
+  pods, no sharing;
+* :func:`build_timesharing` — KubeShare/Gemini-style temporal sharing
+  (Fig. 1b, Fig. 11a): every pod sees 100% of SMs, quotas enforced by what
+  degenerates to single-token passing, quota-sum packing across GPUs;
+* :func:`build_racing` — unmanaged contention ("racing" in Fig. 10): pods
+  launch kernels with no tokens and no partitions;
+* :func:`build_fast` — the full FaST-GShare system, for symmetric call sites.
+"""
+
+from repro.platform import FaSTGShare
+
+
+def build_fast(nodes: int = 1, gpu: str = "V100", seed: int = 42, window: float = 0.1) -> FaSTGShare:
+    """The full system under test."""
+    return FaSTGShare.build(nodes=nodes, gpu=gpu, sharing="fast", window=window, seed=seed)
+
+
+def build_timesharing(nodes: int = 1, gpu: str = "V100", seed: int = 42, window: float = 0.1) -> FaSTGShare:
+    """KubeShare-like temporal sharing baseline."""
+    return FaSTGShare.build(nodes=nodes, gpu=gpu, sharing="timeshare", window=window, seed=seed)
+
+
+def build_racing(nodes: int = 1, gpu: str = "V100", seed: int = 42) -> FaSTGShare:
+    """Unmanaged racing baseline (MPS off, no manager)."""
+    return FaSTGShare.build(nodes=nodes, gpu=gpu, sharing="racing", seed=seed)
+
+
+def build_exclusive(nodes: int = 1, gpu: str = "V100", seed: int = 42) -> FaSTGShare:
+    """Device-plugin baseline: exclusive whole-GPU assignment."""
+    return FaSTGShare.build(nodes=nodes, gpu=gpu, sharing="exclusive", seed=seed)
+
+
+__all__ = ["build_exclusive", "build_fast", "build_racing", "build_timesharing"]

@@ -1,0 +1,43 @@
+"""Experiment runners: one module per paper figure/table.
+
+Every module exposes ``run(...) -> <Result dataclass>`` and
+``format_result(result) -> str`` printing the same rows/series the paper
+reports.  ``quick=True`` shrinks durations for CI/benchmarks without changing
+the experimental structure; EXPERIMENTS.md records full-scale results.
+
+==========  ==========================================================
+fig01       motivation: device plugin vs time sharing (Fig. 1a/1b)
+fig08       profiler throughput grid, 4 models (Fig. 8)
+fig09       temporal-only interference vs spatio-temporal isolation (Fig. 9)
+fig10       spatial sharing: throughput/latency/util/occupancy (Fig. 10)
+fig11       scheduler packing across 4 nodes (Fig. 11)
+fig12       auto-scaling under a stepped trace, SLO violations (Fig. 12)
+fig13       model-sharing memory footprints (Fig. 13)
+headline    the 3.15x / 1.34x / 3.13x improvement summary (§1, §5)
+ablations   MRA vs placement baselines; token scheduler variants
+==========  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401  (re-export for discoverability)
+    ablations,
+    fig01_motivation,
+    fig08_profiling,
+    fig09_isolation,
+    fig10_spatial,
+    fig11_scheduler,
+    fig12_autoscaling,
+    fig13_modelsharing,
+    headline,
+)
+
+__all__ = [
+    "ablations",
+    "fig01_motivation",
+    "fig08_profiling",
+    "fig09_isolation",
+    "fig10_spatial",
+    "fig11_scheduler",
+    "fig12_autoscaling",
+    "fig13_modelsharing",
+    "headline",
+]

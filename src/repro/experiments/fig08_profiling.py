@@ -1,0 +1,76 @@
+"""Fig. 8 — FaST-Profiler throughput grids for the four MLPerf models.
+
+For each model, throughput is measured at every point of the paper's
+profiling grid (temporal 20..100% × spatial 6..100%).  The two shapes to
+reproduce: throughput grows *proportionally* with the time quota, and
+*saturates* along the SM axis at a model-dependent knee (larger models
+saturate later).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.faas.function import FunctionSpec
+from repro.profiler import ConfigurationServer, FaSTProfiler, ProfilePoint
+
+#: The models the paper profiles, with their Fig. 8 panel titles.
+FIG8_MODELS: tuple[tuple[str, str], ...] = (
+    ("resnet50", "vision / ResNet (98MiB)"),
+    ("rnnt", "speech_recognition / RNNT (519MiB)"),
+    ("bert", "reasoning / BERT (650MiB)"),
+    ("gnmt", "translation / GNMT (758MiB)"),
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Fig08Result:
+    #: model -> list of profile points over the grid.
+    grids: dict[str, list[ProfilePoint]]
+    spatial: tuple[float, ...]
+    temporal: tuple[float, ...]
+
+    def throughput(self, model: str, sm: float, quota: float) -> float:
+        for point in self.grids[model]:
+            if point.sm_partition == sm and point.quota == quota:
+                return point.throughput
+        raise KeyError((model, sm, quota))
+
+
+def run(
+    models: _t.Sequence[tuple[str, str]] = FIG8_MODELS,
+    trial_duration: float = 12.0,
+    quick: bool = False,
+    seed: int = 7,
+) -> Fig08Result:
+    if quick:
+        trial_duration = 5.0
+        server = ConfigurationServer(spatial=(6, 24, 100), temporal=(0.4, 1.0))
+    else:
+        server = ConfigurationServer()
+    profiler = FaSTProfiler(
+        config_server=server, trial_duration=trial_duration, warmup=1.0,
+        concurrency=8, seed=seed,
+    )
+    grids: dict[str, list[ProfilePoint]] = {}
+    for model_name, _title in models:
+        function = FunctionSpec.from_model(model_name, model_name)
+        grids[model_name] = profiler.profile_function(function)
+    return Fig08Result(grids=grids, spatial=server.spatial, temporal=server.temporal)
+
+
+def format_result(result: Fig08Result) -> str:
+    titles = dict(FIG8_MODELS)
+    lines = ["Fig. 8 — function throughput (req/s) from FaST-Profiler"]
+    for model, points in result.grids.items():
+        lines.append(f"\n  {titles.get(model, model)}")
+        header = "    SM\\Q " + "".join(f"{q:>8.1f}" for q in result.temporal)
+        lines.append(header)
+        for sm in result.spatial:
+            row = [p for p in points if p.sm_partition == sm]
+            row.sort(key=lambda p: p.quota)
+            lines.append(
+                f"    {sm:>4.0f}%" + "".join(f"{p.throughput:8.1f}" for p in row)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Fig. 13 — GPU memory footprint with and without model sharing.
+
+Two parts:
+
+* the footprint bars for ResNet50 / ResNet152 / ResNeXt-xlarge / ViT-Huge
+  (original vs shared-pod vs shared-tensor-with-context), *measured* by
+  deploying pods on a node and reading the device memory ledger — not just
+  computed from the profiles;
+* capacity effects (§5.5): a 16 GB V100 fits 7 ResNeXt pods with sharing vs
+  4 without, and the multi-pod totals (e.g. 3 ViT pods: 9282 vs 14205 MB).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.models import get_model
+from repro.platform import FaSTGShare
+
+FIG13_MODELS: tuple[str, ...] = ("resnet50", "resnet152", "resnext_xlarge", "vit_huge")
+
+#: The paper's reported bars (MB): model -> (original, shared pod, server).
+PAPER_BARS: dict[str, tuple[float, float, float]] = {
+    "resnet50": (1525, 1427, 416),
+    "resnet152": (1745, 1501, 601),
+    "resnext_xlarge": (3335, 1829, 1805),
+    "vit_huge": (4735, 2101, 2979),
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Fig13Bar:
+    model: str
+    original_mb: float      # measured single-pod footprint, no sharing
+    shared_pod_mb: float    # measured per-pod footprint under sharing
+    server_mb: float        # measured storage-server footprint (tensors+ctx)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Fig13Result:
+    bars: list[Fig13Bar]
+    resnext_pods_without_sharing: int
+    resnext_pods_with_sharing: int
+    vit3_shared_mb: float
+    vit3_original_mb: float
+
+    def bar(self, model: str) -> Fig13Bar:
+        for bar in self.bars:
+            if bar.model == model:
+                return bar
+        raise KeyError(model)
+
+
+def _measure_bar(model_name: str, seed: int) -> Fig13Bar:
+    model = get_model(model_name)
+    # Original: one pod, no sharing.
+    plain = FaSTGShare.build(nodes=1, sharing="fast", seed=seed)
+    plain.register_function("fn", model=model_name, model_sharing=False)
+    replica = plain.deploy("fn", configs=[(50, 1.0)])[0]
+    plain.wait_ready()
+    device = plain.cluster.node(0).device
+    original = device.memory.owner_usage_mb(replica.pod.pod_id)
+
+    # Shared: one pod + the storage server holding the tensors.
+    shared = FaSTGShare.build(nodes=1, sharing="fast", seed=seed)
+    shared.register_function("fn", model=model_name, model_sharing=True)
+    replica_s = shared.deploy("fn", configs=[(50, 1.0)])[0]
+    shared.wait_ready()
+    node_s = shared.cluster.node(0)
+    device_s = node_s.device
+    pod_mb = device_s.memory.owner_usage_mb(replica_s.pod.pod_id)
+    server_mb = device_s.memory.owner_usage_mb(node_s.model_storage.name)
+    return Fig13Bar(model=model_name, original_mb=original,
+                    shared_pod_mb=pod_mb, server_mb=server_mb)
+
+
+def _max_pods(model_name: str, sharing: bool, seed: int) -> int:
+    """Deploy pods until the device refuses (memory), return the count."""
+    from repro.gpu.memory import GpuOutOfMemoryError
+
+    platform = FaSTGShare.build(nodes=1, sharing="fast", seed=seed)
+    platform.register_function("fn", model=model_name, model_sharing=sharing)
+    count = 0
+    while count < 32:
+        try:
+            platform.deploy("fn", configs=[(6, 0.1)], node=0)
+        except GpuOutOfMemoryError:
+            break
+        count += 1
+    return count
+
+
+def run(seed: int = 42, quick: bool = False) -> Fig13Result:
+    bars = [_measure_bar(name, seed) for name in FIG13_MODELS]
+    vit = get_model("vit_huge").memory
+    return Fig13Result(
+        bars=bars,
+        resnext_pods_without_sharing=_max_pods("resnext_xlarge", False, seed),
+        resnext_pods_with_sharing=_max_pods("resnext_xlarge", True, seed),
+        vit3_shared_mb=vit.total_mb(3, shared=True),
+        vit3_original_mb=vit.total_mb(3, shared=False),
+    )
+
+
+def format_result(result: Fig13Result) -> str:
+    lines = [
+        "Fig. 13 — GPU memory footprint (MB): measured vs paper",
+        "  model             original (paper)    shared pod (paper)    server (paper)",
+    ]
+    for bar in result.bars:
+        paper = PAPER_BARS[bar.model]
+        lines.append(
+            f"  {bar.model:<16} {bar.original_mb:8.0f} ({paper[0]:>5})   "
+            f"{bar.shared_pod_mb:10.0f} ({paper[1]:>5})   "
+            f"{bar.server_mb:8.0f} ({paper[2]:>5})"
+        )
+    lines.append(
+        f"  ResNeXt pods per 16 GB V100: {result.resnext_pods_without_sharing} without "
+        f"sharing, {result.resnext_pods_with_sharing} with (paper: 4 vs 7)"
+    )
+    lines.append(
+        f"  3x ViT-Huge: {result.vit3_shared_mb:.0f} MB shared vs "
+        f"{result.vit3_original_mb:.0f} MB original (paper: 9282 vs 14205)"
+    )
+    return "\n".join(lines)

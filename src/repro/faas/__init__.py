@@ -1,0 +1,41 @@
+"""The serverless (OpenFaaS-like) platform layer.
+
+* :mod:`repro.faas.requests` — request records and the request log with
+  latency/throughput analytics;
+* :mod:`repro.faas.function` — function specs (model + SLO) and the registry;
+* :mod:`repro.faas.replica` — the function-instance runtime: cold start
+  (model load / shared GET), FIFO queue, serve loop through the hook library;
+* :mod:`repro.faas.gateway` — request intake, least-loaded routing across
+  ready replicas, RPS observation/prediction for the auto-scaler;
+* :mod:`repro.faas.workload` — arrival processes (constant, Poisson, stepped
+  traces) mirroring the paper's k6 load shapes;
+* :mod:`repro.faas.loadgen` — open-loop and closed-loop load generation;
+* :mod:`repro.faas.slo` — SLO violation analytics (paper Fig. 12).
+"""
+
+from repro.faas.function import FunctionRegistry, FunctionSpec
+from repro.faas.gateway import Gateway
+from repro.faas.loadgen import ClosedLoopClient, OpenLoopGenerator
+from repro.faas.replica import FunctionReplica
+from repro.faas.requests import Request, RequestLog
+from repro.faas.slo import latency_percentile, violation_ratio, violation_series
+from repro.faas.workload import ConstantRate, PoissonRate, ReplayTrace, StepTrace, Workload
+
+__all__ = [
+    "ClosedLoopClient",
+    "ConstantRate",
+    "FunctionRegistry",
+    "FunctionReplica",
+    "FunctionSpec",
+    "Gateway",
+    "OpenLoopGenerator",
+    "PoissonRate",
+    "ReplayTrace",
+    "Request",
+    "RequestLog",
+    "StepTrace",
+    "Workload",
+    "latency_percentile",
+    "violation_ratio",
+    "violation_series",
+]

@@ -1,0 +1,136 @@
+"""The OpenFaaS-style gateway.
+
+Responsibilities (paper Fig. 2):
+
+* request intake and **least-loaded routing** across a function's ready
+  replicas (requests park in a pending queue while every replica is cold —
+  no request is lost during scale-up);
+* completion bookkeeping into the :class:`~repro.faas.requests.RequestLog`;
+* **RPS observation**: per-function arrival bins, from which the FaST
+  Scheduler reads its predicted request loads (``R_j``).
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import typing as _t
+
+from repro.faas.function import FunctionRegistry
+from repro.faas.requests import Request, RequestLog
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.replica import FunctionReplica
+    from repro.sim.engine import Engine
+
+
+class Gateway:
+    """Request router + RPS observer."""
+
+    def __init__(self, engine: "Engine", registry: FunctionRegistry, rps_bin_s: float = 1.0):
+        self.engine = engine
+        self.registry = registry
+        self.rps_bin_s = rps_bin_s
+        self.log = RequestLog()
+        self._replicas: dict[str, list["FunctionReplica"]] = collections.defaultdict(list)
+        self._pending: dict[str, collections.deque[Request]] = collections.defaultdict(collections.deque)
+        self._rr: dict[str, int] = collections.defaultdict(int)
+        #: per-function arrival counts in fixed wall-clock bins (RPS signal).
+        self._arrival_bins: dict[str, collections.Counter] = collections.defaultdict(collections.Counter)
+        self.submitted: dict[str, int] = collections.defaultdict(int)
+
+    # -- replica membership (called by the FaSTPod controller / replicas) -------
+    def replica_ready(self, replica: "FunctionReplica") -> None:
+        name = replica.function.name
+        if replica not in self._replicas[name]:
+            self._replicas[name].append(replica)
+        self._drain_pending(name)
+
+    def replica_gone(self, replica: "FunctionReplica") -> None:
+        name = replica.function.name
+        try:
+            self._replicas[name].remove(replica)
+        except ValueError:
+            pass
+
+    def replicas(self, function: str) -> list["FunctionReplica"]:
+        return list(self._replicas[function])
+
+    # -- intake & routing ----------------------------------------------------------
+    def submit(self, function: str, done_event=None) -> Request:
+        """Accept one request for ``function`` and route it."""
+        if function not in self.registry:
+            raise KeyError(f"unknown function {function!r}")
+        now = self.engine.now
+        request = Request(function=function, arrival=now, done_event=done_event)
+        self.submitted[function] += 1
+        self.log.note_submitted()
+        self._arrival_bins[function][math.floor(now / self.rps_bin_s)] += 1
+        self._route(request)
+        return request
+
+    def _route(self, request: Request) -> None:
+        candidates = [r for r in self._replicas[request.function] if r.accepting]
+        if not candidates:
+            self._pending[request.function].append(request)
+            return
+        # Least-loaded; round-robin among ties for determinism without bias.
+        min_load = min(r.load for r in candidates)
+        tied = [r for r in candidates if r.load == min_load]
+        index = self._rr[request.function] % len(tied)
+        self._rr[request.function] += 1
+        tied[index].enqueue(request)
+
+    def _drain_pending(self, function: str) -> None:
+        pending = self._pending[function]
+        while pending and any(r.accepting for r in self._replicas[function]):
+            self._route(pending.popleft())
+
+    def reroute(self, requests: _t.Iterable[Request]) -> None:
+        """Re-admit requests a draining/killed replica could not finish."""
+        for request in requests:
+            request.start = None
+            request.replica_id = None
+            self._route(request)
+
+    def complete(self, request: Request) -> None:
+        self.log.note_completed(request)
+        if request.done_event is not None and not request.done_event.triggered:
+            request.done_event.succeed(request)
+
+    # -- RPS signal for the scheduler ------------------------------------------------
+    def observed_rps(self, function: str, window_s: float = 5.0) -> float:
+        """Mean arrival rate over the trailing ``window_s`` seconds."""
+        now = self.engine.now
+        bins = self._arrival_bins[function]
+        if not bins:
+            return 0.0
+        current = math.floor(now / self.rps_bin_s)
+        n_bins = max(1, int(round(window_s / self.rps_bin_s)))
+        total = sum(bins.get(current - i, 0) for i in range(n_bins))
+        return total / (n_bins * self.rps_bin_s)
+
+    def predicted_rps(self, function: str, window_s: float = 5.0) -> float:
+        """Load prediction the scheduler scales against.
+
+        A deliberately simple predictor (the paper predicts "based on
+        request loads from the gateway" without further detail): the max of
+        the trailing-window mean, the last complete bin, and the current
+        partial bin extrapolated once ≥30% elapsed — so load steps are caught
+        within about one bin while troughs decay smoothly.
+        """
+        now = self.engine.now
+        bins = self._arrival_bins[function]
+        if not bins:
+            return 0.0
+        current = math.floor(now / self.rps_bin_s)
+        last_bin = bins.get(current - 1, 0) / self.rps_bin_s
+        prediction = max(self.observed_rps(function, window_s), last_bin)
+        elapsed = now - current * self.rps_bin_s
+        if elapsed >= 0.3 * self.rps_bin_s:
+            prediction = max(prediction, bins.get(current, 0) / elapsed)
+        return prediction
+
+    @property
+    def pending_total(self) -> int:
+        return sum(len(q) for q in self._pending.values())

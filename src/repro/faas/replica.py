@@ -1,0 +1,134 @@
+"""The function-instance runtime (what runs inside a FaSTPod's container).
+
+Lifecycle: cold start (framework boot + model load — via the Model Store Lib
+when sharing is enabled), then an infinite serve loop: take the next request
+from the replica queue, generate its kernel-burst plan at the pod's SM
+partition, and execute it through the (token-gated or direct) hook library.
+
+Scale-down uses drain semantics: the replica stops accepting work, requeues
+anything still waiting, finishes the in-flight request, and only then is the
+pod evicted — requests are never dropped by scaling.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.faas.function import FunctionSpec
+from repro.faas.requests import Request
+from repro.k8s.objects import Pod, PodPhase
+from repro.sim.errors import Interrupt
+from repro.sim.resources import Store
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.faas.gateway import Gateway
+    from repro.k8s.node import Container
+    from repro.sim.engine import Engine
+
+
+class FunctionReplica:
+    """One serving instance of a function."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        pod: Pod,
+        container: Container,
+        function: FunctionSpec,
+        gateway: "Gateway",
+        rng: "np.random.Generator | None" = None,
+    ):
+        self.engine = engine
+        self.pod = pod
+        self.container = container
+        self.function = function
+        self.gateway = gateway
+        self.rng = rng
+        self.queue: Store = Store(engine, name=f"{pod.pod_id}.queue")
+        self.ready = False
+        self.draining = False
+        self.in_flight: Request | None = None
+        self.started_at: float | None = None
+        self.requests_served = 0
+        self._proc = engine.process(self._serve(), name=f"replica:{pod.pod_id}")
+
+    # -- queue/load introspection (used by gateway routing) -----------------------
+    @property
+    def replica_id(self) -> str:
+        return self.pod.pod_id
+
+    @property
+    def load(self) -> int:
+        """Outstanding work: queued + in-flight."""
+        return len(self.queue) + (1 if self.in_flight is not None else 0)
+
+    @property
+    def partition(self) -> float:
+        """The SM partition plans are generated for (100 when unmanaged)."""
+        return self.container.hook.ctx.sm_demand
+
+    @property
+    def accepting(self) -> bool:
+        return self.ready and not self.draining
+
+    def enqueue(self, request: Request) -> None:
+        if not self.accepting:
+            raise RuntimeError(f"replica {self.replica_id} is not accepting requests")
+        self.queue.put(request)
+
+    # -- serve loop -----------------------------------------------------------------
+    def _serve(self):
+        model = self.function.model
+        try:
+            # Cold start: shared GET/STORE via the storage server, or a full
+            # local weight load when model sharing is off.
+            if self.container.store_lib is not None:
+                yield from self.container.store_lib.load_shared(model)
+            else:
+                yield self.engine.timeout(model.load_time_s)
+            self.pod.transition(PodPhase.RUNNING)
+            self.ready = True
+            self.started_at = self.engine.now
+            self.gateway.replica_ready(self)
+            while True:
+                request = _t.cast(Request, (yield self.queue.get()))
+                self.in_flight = request
+                request.start = self.engine.now
+                request.replica_id = self.replica_id
+                plan = model.make_plan(self.partition, self.rng)
+                yield from self.container.hook.run_plan(plan)
+                request.end = self.engine.now
+                self.in_flight = None
+                self.requests_served += 1
+                self.gateway.complete(request)
+        except Interrupt:
+            # Hard stop (eviction): release any token and requeue what we hold.
+            self.container.hook.release()
+            leftovers = self.queue.drain()
+            if self.in_flight is not None:
+                leftovers.insert(0, self.in_flight)
+                self.in_flight = None
+            self.ready = False
+            self.gateway.reroute(leftovers)
+
+    # -- scale-down -------------------------------------------------------------------
+    def drain_and_stop(self):
+        """(generator) Graceful termination: reroute queue, finish in-flight."""
+        self.draining = True
+        self.gateway.replica_gone(self)
+        self.gateway.reroute(self.queue.drain())
+        while self.in_flight is not None:
+            yield self.engine.timeout(0.005)
+        self.ready = False
+        if self._proc.is_alive:
+            self._proc.interrupt("scale-down")
+            yield self.engine.timeout(0.0)  # let the interrupt unwind
+
+    def kill(self) -> None:
+        """Immediate termination (tests / failure injection)."""
+        self.draining = True
+        self.gateway.replica_gone(self)
+        if self._proc.is_alive:
+            self._proc.interrupt("kill")

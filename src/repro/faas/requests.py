@@ -1,0 +1,94 @@
+"""Request records and the request log."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing as _t
+
+import numpy as np
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+_request_ids = itertools.count(1)
+
+
+@dataclasses.dataclass(slots=True)
+class Request:
+    """One inference request's lifecycle timestamps."""
+
+    function: str
+    arrival: float
+    request_id: int = dataclasses.field(default_factory=lambda: next(_request_ids))
+    start: float | None = None
+    end: float | None = None
+    replica_id: str | None = None
+    #: settled on completion; closed-loop clients wait on it.
+    done_event: "Event | None" = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (arrival → completion), seconds."""
+        if self.end is None:
+            raise ValueError(f"request {self.request_id} not finished")
+        return self.end - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        if self.start is None:
+            raise ValueError(f"request {self.request_id} never started")
+        return self.start - self.arrival
+
+
+class RequestLog:
+    """Completed-request analytics for one run."""
+
+    def __init__(self) -> None:
+        self.completed: list[Request] = []
+        self.submitted = 0
+
+    def note_submitted(self) -> None:
+        self.submitted += 1
+
+    def note_completed(self, request: Request) -> None:
+        self.completed.append(request)
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    # -- filters -------------------------------------------------------------
+    def for_function(self, function: str) -> "RequestLog":
+        view = RequestLog()
+        view.completed = [r for r in self.completed if r.function == function]
+        view.submitted = self.submitted  # function-level submit counts are on the gateway
+        return view
+
+    def in_window(self, t0: float, t1: float) -> "RequestLog":
+        """Requests completed within [t0, t1)."""
+        view = RequestLog()
+        view.completed = [r for r in self.completed if r.end is not None and t0 <= r.end < t1]
+        return view
+
+    # -- analytics ----------------------------------------------------------------
+    def latencies_ms(self) -> np.ndarray:
+        return np.array([1000.0 * r.latency for r in self.completed], dtype=float)
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        latencies = self.latencies_ms()
+        if latencies.size == 0:
+            return float("nan")
+        return float(np.percentile(latencies, percentile))
+
+    def throughput(self, duration: float) -> float:
+        """Completed requests per second over ``duration``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return len(self.completed) / duration
+
+    def completions_per_second(self, horizon: float, bin_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """Time series of completion rate (the paper's throughput-vs-time plots)."""
+        edges = np.arange(0.0, horizon + bin_s, bin_s)
+        ends = np.array([r.end for r in self.completed if r.end is not None], dtype=float)
+        counts, _ = np.histogram(ends, bins=edges)
+        return edges[1:], counts / bin_s

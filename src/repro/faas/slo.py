@@ -1,0 +1,40 @@
+"""SLO analytics (paper §5.4, Fig. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faas.requests import RequestLog
+
+
+def latency_percentile(log: RequestLog, percentile: float) -> float:
+    """Latency percentile in milliseconds (nan when empty)."""
+    return log.latency_percentile_ms(percentile)
+
+
+def violation_ratio(log: RequestLog, slo_ms: float) -> float:
+    """Fraction of completed requests exceeding the SLO latency."""
+    latencies = log.latencies_ms()
+    if latencies.size == 0:
+        return 0.0
+    return float(np.mean(latencies > slo_ms))
+
+
+def violation_series(
+    log: RequestLog, slo_ms: float, horizon: float, bin_s: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bin SLO violation ratio over time (Fig. 12 bottom panel).
+
+    Bins with no completions report 0 (nothing violated).
+    """
+    edges = np.arange(0.0, horizon + bin_s, bin_s)
+    ends = np.array([r.end for r in log.completed], dtype=float)
+    lat = log.latencies_ms()
+    ratios = np.zeros(len(edges) - 1)
+    if ends.size:
+        which = np.digitize(ends, edges) - 1
+        for b in range(len(ratios)):
+            mask = which == b
+            if mask.any():
+                ratios[b] = float(np.mean(lat[mask] > slo_ms))
+    return edges[1:], ratios

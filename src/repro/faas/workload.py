@@ -1,0 +1,185 @@
+"""Arrival-process workloads (the Grafana k6 substitute).
+
+Each workload yields absolute arrival times over its duration and exposes
+``rps_at(t)`` — the offered load curve the paper plots alongside measured
+behaviour (Fig. 12's "workload request" line).
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as _t
+
+import numpy as np
+
+
+class Workload(abc.ABC):
+    """An arrival process over a finite horizon."""
+
+    @property
+    @abc.abstractmethod
+    def duration(self) -> float:
+        """Total length of the workload in seconds."""
+
+    @abc.abstractmethod
+    def rps_at(self, t: float) -> float:
+        """Offered load (req/s) at time ``t``."""
+
+    @abc.abstractmethod
+    def arrival_times(self, rng: np.random.Generator) -> _t.Iterator[float]:
+        """Yield absolute arrival times in increasing order."""
+
+
+class ConstantRate(Workload):
+    """Deterministic, evenly spaced arrivals at a fixed rate."""
+
+    def __init__(self, rps: float, duration: float):
+        if rps < 0 or duration <= 0:
+            raise ValueError("need rps >= 0 and duration > 0")
+        self.rps = rps
+        self._duration = duration
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def rps_at(self, t: float) -> float:
+        return self.rps if 0 <= t < self._duration else 0.0
+
+    def arrival_times(self, rng: np.random.Generator) -> _t.Iterator[float]:
+        if self.rps == 0:
+            return
+        gap = 1.0 / self.rps
+        t = gap  # first arrival one gap in, matching a paced generator
+        while t <= self._duration:
+            yield t
+            t += gap
+
+
+class PoissonRate(Workload):
+    """Memoryless arrivals at a fixed mean rate (open-loop k6 default)."""
+
+    def __init__(self, rps: float, duration: float):
+        if rps < 0 or duration <= 0:
+            raise ValueError("need rps >= 0 and duration > 0")
+        self.rps = rps
+        self._duration = duration
+
+    @property
+    def duration(self) -> float:
+        return self._duration
+
+    def rps_at(self, t: float) -> float:
+        return self.rps if 0 <= t < self._duration else 0.0
+
+    def arrival_times(self, rng: np.random.Generator) -> _t.Iterator[float]:
+        if self.rps == 0:
+            return
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rps))
+            if t > self._duration:
+                return
+            yield t
+
+
+class StepTrace(Workload):
+    """Piecewise-constant rate: [(duration, rps), ...] (Fig. 12's staircase).
+
+    ``poisson=True`` jitters arrivals within each step; ``False`` spaces them
+    deterministically.
+    """
+
+    def __init__(self, steps: _t.Sequence[tuple[float, float]], poisson: bool = True):
+        if not steps:
+            raise ValueError("need at least one step")
+        for duration, rps in steps:
+            if duration <= 0 or rps < 0:
+                raise ValueError(f"bad step ({duration}, {rps})")
+        self.steps = [(float(d), float(r)) for d, r in steps]
+        self.poisson = poisson
+        self._edges = np.cumsum([0.0] + [d for d, _ in self.steps])
+
+    @property
+    def duration(self) -> float:
+        return float(self._edges[-1])
+
+    def rps_at(self, t: float) -> float:
+        if t < 0 or t >= self.duration:
+            return 0.0
+        index = int(np.searchsorted(self._edges, t, side="right")) - 1
+        return self.steps[index][1]
+
+    def arrival_times(self, rng: np.random.Generator) -> _t.Iterator[float]:
+        for (start, (duration, rps)) in zip(self._edges[:-1], self.steps):
+            if rps == 0:
+                continue
+            if self.poisson:
+                t = float(start)
+                end = float(start) + duration
+                while True:
+                    t += float(rng.exponential(1.0 / rps))
+                    if t > end:
+                        break
+                    yield t
+            else:
+                gap = 1.0 / rps
+                t = float(start) + gap
+                end = float(start) + duration
+                while t <= end:
+                    yield t
+                    t += gap
+
+    @classmethod
+    def fig12_trace(cls) -> "StepTrace":
+        """The stepped 0→100 req/s trace used for the auto-scaling experiment.
+
+        The paper plots ~175 s of workload ramping between 10 and 100 req/s;
+        this staircase matches that envelope.
+        """
+        return cls(
+            steps=[
+                (20, 10),
+                (25, 35),
+                (25, 70),
+                (25, 100),
+                (25, 60),
+                (25, 90),
+                (30, 25),
+            ]
+        )
+
+
+class ReplayTrace(Workload):
+    """Replay recorded arrival timestamps (production-trace experiments).
+
+    ``times`` are absolute arrival offsets in seconds from the start; they
+    are validated sorted and non-negative.  ``rps_at`` reports the empirical
+    rate over a sliding window for plotting.
+    """
+
+    def __init__(self, times: _t.Sequence[float], window: float = 1.0):
+        arr = np.asarray(list(times), dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one arrival")
+        if (arr < 0).any():
+            raise ValueError("arrival times must be non-negative")
+        if (np.diff(arr) < 0).any():
+            raise ValueError("arrival times must be sorted")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.times = arr
+        self.window = window
+
+    @property
+    def duration(self) -> float:
+        return float(self.times[-1])
+
+    def rps_at(self, t: float) -> float:
+        lo = np.searchsorted(self.times, t - self.window / 2, side="left")
+        hi = np.searchsorted(self.times, t + self.window / 2, side="right")
+        return float(hi - lo) / self.window
+
+    def arrival_times(self, rng: np.random.Generator) -> _t.Iterator[float]:
+        # Deterministic by definition; rng accepted for interface parity.
+        yield from (float(t) for t in self.times)

@@ -1,0 +1,86 @@
+"""Device-memory ledger.
+
+Tracks allocations per owner (pod, storage server, ...) against the GPU's
+usable capacity; raising :class:`GpuOutOfMemoryError` on overflow is what
+caps pods-per-GPU in the model-sharing experiment (paper Fig. 13 / §5.5).
+"""
+
+from __future__ import annotations
+
+import collections
+
+
+class GpuOutOfMemoryError(MemoryError):
+    """Allocation would exceed the device's usable memory."""
+
+    def __init__(self, requested_mb: float, free_mb: float, device: str):
+        super().__init__(
+            f"CUDA_ERROR_OUT_OF_MEMORY on {device}: requested {requested_mb:.0f} MB, "
+            f"free {free_mb:.0f} MB"
+        )
+        self.requested_mb = requested_mb
+        self.free_mb = free_mb
+
+
+class MemoryLedger:
+    """Per-device allocation accounting (MB granularity, float amounts)."""
+
+    def __init__(self, capacity_mb: float, device_name: str = "gpu"):
+        if capacity_mb <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_mb = float(capacity_mb)
+        self.device_name = device_name
+        self._by_owner: dict[str, float] = collections.defaultdict(float)
+        self._used = 0.0
+        self.peak_mb = 0.0
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def used_mb(self) -> float:
+        return self._used
+
+    @property
+    def free_mb(self) -> float:
+        return self.capacity_mb - self._used
+
+    def owner_usage_mb(self, owner: str) -> float:
+        return self._by_owner.get(owner, 0.0)
+
+    def owners(self) -> list[str]:
+        return [o for o, v in self._by_owner.items() if v > 0]
+
+    # -- mutation ----------------------------------------------------------
+    def allocate(self, owner: str, mb: float) -> None:
+        """Charge ``mb`` to ``owner``; raises on OOM (nothing is charged)."""
+        if mb < 0:
+            raise ValueError(f"negative allocation {mb}")
+        if self._used + mb > self.capacity_mb + 1e-9:
+            raise GpuOutOfMemoryError(mb, self.free_mb, self.device_name)
+        self._by_owner[owner] += mb
+        self._used += mb
+        self.peak_mb = max(self.peak_mb, self._used)
+
+    def can_allocate(self, mb: float) -> bool:
+        return self._used + mb <= self.capacity_mb + 1e-9
+
+    def free(self, owner: str, mb: float) -> None:
+        """Release ``mb`` previously charged to ``owner``."""
+        if mb < 0:
+            raise ValueError(f"negative free {mb}")
+        held = self._by_owner.get(owner, 0.0)
+        if mb > held + 1e-9:
+            raise ValueError(f"{owner} frees {mb:.1f} MB but holds only {held:.1f} MB")
+        self._by_owner[owner] = held - mb
+        if self._by_owner[owner] <= 1e-9:
+            del self._by_owner[owner]
+        self._used -= mb
+        if self._used < 0:  # numerical guard; invariant-tested
+            self._used = 0.0
+
+    def release_owner(self, owner: str) -> float:
+        """Free everything held by ``owner``; returns the amount released."""
+        held = self._by_owner.pop(owner, 0.0)
+        self._used -= held
+        if self._used < 0:
+            self._used = 0.0
+        return held

@@ -1,0 +1,51 @@
+"""GPU device specifications.
+
+The paper's testbed is 4 nodes x 1 NVIDIA Tesla V100 (80 SMs, 640 tensor
+cores, 16 GB).  The catalogue also carries A100/T4 entries so experiments can
+check behaviour on other SM counts (the architecture is SM-count agnostic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GPUSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    sm_count: int
+    tensor_cores: int
+    memory_mb: int
+    #: Memory the driver/ECC reserves; `usable_mb` is what pods can allocate.
+    reserved_mb: int = 224
+    #: Peak FP32 throughput, used only for documentation / sanity output.
+    fp32_tflops: float = 0.0
+
+    @property
+    def usable_mb(self) -> int:
+        return self.memory_mb - self.reserved_mb
+
+    def validate(self) -> None:
+        if self.sm_count <= 0:
+            raise ValueError(f"{self.name}: sm_count must be positive")
+        if self.memory_mb <= self.reserved_mb:
+            raise ValueError(f"{self.name}: no usable memory")
+
+
+#: Devices referenced in the paper (V100) plus common alternatives.
+GPU_CATALOG: dict[str, GPUSpec] = {
+    "V100": GPUSpec(name="V100", sm_count=80, tensor_cores=640, memory_mb=16384, fp32_tflops=15.7),
+    "A100": GPUSpec(name="A100", sm_count=108, tensor_cores=432, memory_mb=40960, fp32_tflops=19.5),
+    "T4": GPUSpec(name="T4", sm_count=40, tensor_cores=320, memory_mb=16384, fp32_tflops=8.1),
+}
+
+
+def gpu_spec(name: str) -> GPUSpec:
+    """Look up a spec by (case-insensitive) name."""
+    try:
+        return GPU_CATALOG[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU {name!r}; known: {known}") from None

@@ -1,0 +1,69 @@
+"""The cluster: a control plane's view of its GPU worker nodes."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.gpu.specs import GPUSpec, gpu_spec
+from repro.k8s.node import GPUNode
+from repro.k8s.objects import Pod
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Cluster:
+    """Node inventory + pod directory (the API-server slice we need)."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        nodes: int = 1,
+        gpu: str | GPUSpec = "V100",
+        sharing_mode: str = "fast",
+        window: float = 0.1,
+    ):
+        if nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        spec = gpu if isinstance(gpu, GPUSpec) else gpu_spec(gpu)
+        self.engine = engine
+        self.sharing_mode = sharing_mode
+        self.nodes: list[GPUNode] = [
+            GPUNode(engine, f"node{i}", spec, sharing_mode=sharing_mode, window=window)
+            for i in range(nodes)
+        ]
+        self._by_name = {node.name: node for node in self.nodes}
+        self.pods: dict[str, Pod] = {}
+
+    def node(self, name_or_index: str | int) -> GPUNode:
+        if isinstance(name_or_index, int):
+            return self.nodes[name_or_index]
+        try:
+            return self._by_name[name_or_index]
+        except KeyError:
+            raise KeyError(f"no node named {name_or_index!r}") from None
+
+    def register_pod(self, pod: Pod) -> None:
+        if pod.pod_id in self.pods:
+            raise ValueError(f"pod {pod.pod_id} already registered")
+        self.pods[pod.pod_id] = pod
+
+    def forget_pod(self, pod_id: str) -> None:
+        self.pods.pop(pod_id, None)
+
+    # -- aggregate metrics (Fig. 11-style per-node summaries) ---------------------
+    def node_metrics(self) -> list[tuple[str, float, float]]:
+        """[(node, utilization %, SM occupancy %)] over each node's window."""
+        out = []
+        for node in self.nodes:
+            node.device.sync_metrics()
+            now = self.engine.now
+            util = 100.0 * node.device.metrics.utilization(now)
+            occ = 100.0 * node.device.metrics.sm_occupancy(now)
+            out.append((node.name, util, occ))
+        return out
+
+    def reset_metrics(self) -> None:
+        for node in self.nodes:
+            node.device.sync_metrics()
+            node.device.metrics.reset(self.engine.now)

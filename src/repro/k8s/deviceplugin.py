@@ -1,0 +1,43 @@
+"""The NVIDIA device-plugin baseline (paper §2.2, Fig. 1a).
+
+The device plugin reports whole GPUs to the control plane and gives each
+requesting pod exclusive access to an entire device — the coarse allocation
+the paper motivates against.  Here it is a simple node allocator used by the
+``exclusive`` sharing mode.
+"""
+
+from __future__ import annotations
+
+from repro.k8s.cluster import Cluster
+from repro.k8s.node import GPUNode
+
+
+class DevicePlugin:
+    """Whole-GPU allocator across a cluster's nodes."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self._assigned: dict[str, str] = {}  # node name -> pod id
+
+    @property
+    def allocatable(self) -> list[GPUNode]:
+        """Nodes whose GPU is not assigned to any pod."""
+        return [n for n in self.cluster.nodes if n.name not in self._assigned]
+
+    def acquire(self, pod_id: str) -> GPUNode:
+        """Assign a whole GPU to ``pod_id``; raises when none are free."""
+        free = self.allocatable
+        if not free:
+            raise RuntimeError(
+                f"device plugin: no free GPUs for {pod_id} "
+                f"({len(self._assigned)}/{len(self.cluster.nodes)} assigned)"
+            )
+        node = free[0]
+        self._assigned[node.name] = pod_id
+        return node
+
+    def release(self, node_name: str) -> None:
+        self._assigned.pop(node_name, None)
+
+    def assignment(self) -> dict[str, str]:
+        return dict(self._assigned)

@@ -1,0 +1,112 @@
+"""The FaSTPod CRD controller (paper §3.2, Fig. 4).
+
+Unlike a Deployment (integer GPUs per pod), a FaSTPod manages a set of
+replicas each carrying **fractional spatio-temporal resources**
+(``sm_partition``, ``quota_request``, ``quota_limit``, ``gpu_mem``), filled
+in automatically by the profiler/scheduler rather than by the user.  On
+scale-up the controller creates the pod object, admits it on the selected
+node (which syncs the resource config into the FaST Backend table), and
+starts the replica runtime; on scale-down it drains and evicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.faas.function import FunctionSpec
+from repro.faas.replica import FunctionReplica
+from repro.k8s.cluster import Cluster
+from repro.k8s.node import GPUNode
+from repro.k8s.objects import ObjectMeta, Pod, PodSpec
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.faas.gateway import Gateway
+    from repro.sim.engine import Engine
+    from repro.sim.process import Process
+
+
+class FaSTPodController:
+    """Replica-set controller for one function."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        cluster: Cluster,
+        gateway: "Gateway",
+        function: FunctionSpec,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.gateway = gateway
+        self.function = function
+        self.replicas: dict[str, FunctionReplica] = {}
+        self._serials = itertools.count(1)
+
+    # -- scale up -----------------------------------------------------------------
+    def scale_up(
+        self,
+        node: GPUNode,
+        sm_partition: float,
+        quota_request: float,
+        quota_limit: float,
+    ) -> FunctionReplica:
+        """Create + admit one replica with the given 2D resource config."""
+        serial = next(self._serials)
+        name = f"fastpod-{self.function.name}-{serial}"
+        spec = PodSpec(
+            function_name=self.function.name,
+            model_name=self.function.model.name,
+            sm_partition=sm_partition,
+            quota_request=quota_request,
+            quota_limit=quota_limit,
+            gpu_mem_mb=self.function.pod_gpu_mem_mb(),
+            use_model_sharing=self.function.use_model_sharing,
+        )
+        meta = ObjectMeta(name=name, annotations=spec.annotations(),
+                          labels={"faas_function": self.function.name})
+        pod = Pod(meta=meta, spec=spec)
+        self.cluster.register_pod(pod)
+        container = node.admit(pod)
+        # Stream keyed by the stable pod *name* (not pod_id, whose uid is a
+        # process-global counter) so identical runs draw identical jitter.
+        rng = self.engine.rng.stream(f"replica.{name}")
+        replica = FunctionReplica(self.engine, pod, container, self.function, self.gateway, rng)
+        self.replicas[pod.pod_id] = replica
+        return replica
+
+    # -- scale down ------------------------------------------------------------------
+    def scale_down(self, pod_id: str, drain: bool = True) -> "Process":
+        """Gracefully (or immediately) remove one replica; returns the
+        termination process (joinable)."""
+        replica = self.replicas.pop(pod_id, None)
+        if replica is None:
+            raise KeyError(f"{self.function.name}: no replica {pod_id}")
+
+        def terminate():
+            if drain:
+                yield from replica.drain_and_stop()
+            else:
+                replica.kill()
+                yield self.engine.timeout(0.0)
+            node = self.cluster.node(replica.pod.node_name)
+            node.evict(replica.pod)
+            self.cluster.forget_pod(pod_id)
+
+        return self.engine.process(terminate(), name=f"scale-down:{pod_id}")
+
+    def scale_down_all(self, drain: bool = True) -> list["Process"]:
+        return [self.scale_down(pod_id, drain=drain) for pod_id in list(self.replicas)]
+
+    # -- introspection ------------------------------------------------------------------
+    @property
+    def replica_count(self) -> int:
+        return len(self.replicas)
+
+    def running_configs(self) -> list[tuple[str, float, float, float]]:
+        """[(pod_id, sm, q_request, q_limit)] of live replicas."""
+        return [
+            (r.pod.pod_id, r.pod.spec.sm_partition, r.pod.spec.quota_request,
+             r.pod.spec.quota_limit)
+            for r in self.replicas.values()
+        ]

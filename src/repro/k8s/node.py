@@ -1,0 +1,183 @@
+"""A GPU worker node.
+
+Mirrors the paper's work-node stack (Fig. 2): the GPU device with its driver,
+the MPS server container (DaemonSet-managed), the FaST-Manager backend, the
+Model Storage server, and the set of admitted pods.  The node's *sharing
+mode* decides which of these a pod's container is wired to:
+
+* ``fast``      — MPS partition + FaST frontend (token-gated, spatial limits);
+* ``timeshare`` — KubeShare-like: token-gated with the partition forced to
+  100% (single-token passing emerges because Σ running partitions ≤ 100%);
+* ``racing``    — unmanaged: direct driver access, full-GPU contexts;
+* ``exclusive`` — device-plugin semantics: direct access, and the device
+  plugin admits at most one pod per GPU.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.driver import CudaDriver
+from repro.gpu.memory import GpuOutOfMemoryError
+from repro.gpu.mps import MPSServer
+from repro.gpu.specs import GPUSpec
+from repro.k8s.objects import Pod, PodPhase
+from repro.manager.backend import FaSTBackend
+from repro.manager.frontend import FaSTFrontend
+from repro.manager.hook import DirectHookLibrary
+from repro.modelshare.server import ModelStorageServer
+from repro.modelshare.store_lib import ModelStoreLib
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+SHARING_MODES = ("fast", "timeshare", "racing", "exclusive")
+
+
+class NodeError(RuntimeError):
+    """Invalid node operation (admission failure, unknown pod, ...)."""
+
+
+class Container:
+    """The container environment a pod's replica runtime executes in."""
+
+    def __init__(
+        self,
+        pod: Pod,
+        hook,
+        store_lib: ModelStoreLib | None,
+        frontend: FaSTFrontend | None,
+        teardown: _t.Callable[[], None],
+    ):
+        self.pod = pod
+        self.hook = hook
+        self.store_lib = store_lib
+        self.frontend = frontend
+        self._teardown = teardown
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._teardown()
+
+
+class GPUNode:
+    """One worker node with a single GPU (the paper's testbed shape)."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        name: str,
+        spec: GPUSpec,
+        sharing_mode: str = "fast",
+        window: float = 0.1,
+    ):
+        if sharing_mode not in SHARING_MODES:
+            raise NodeError(f"unknown sharing mode {sharing_mode!r}; known: {SHARING_MODES}")
+        self.engine = engine
+        self.name = name
+        self.sharing_mode = sharing_mode
+        self.device = GPUDevice(engine, spec, name=f"{name}/gpu0")
+        self.driver = CudaDriver(engine, self.device)
+        # DaemonSet: one MPS server container per node (only used by `fast`).
+        self.mps_server = MPSServer(self.device)
+        self.mps_server.start()
+        self.backend = FaSTBackend(engine, name=f"{name}/fast-backend", window=window)
+        self.model_storage = ModelStorageServer(engine, self.driver, name=f"{name}/model-storage")
+        self.containers: dict[str, Container] = {}
+
+    # -- capacity queries (used by node selection) ------------------------------
+    @property
+    def pod_count(self) -> int:
+        return len(self.containers)
+
+    def pod_memory_requirement_mb(self, pod: Pod) -> float:
+        """Device memory the pod will pin on this node, including the
+        storage-server share if it is the first instance of its model here."""
+        mem = pod.spec.gpu_mem_mb
+        if pod.spec.use_model_sharing:
+            from repro.models import get_model  # local: avoid import cycle
+
+            model = get_model(pod.spec.model_name)
+            if model.name not in self.model_storage.stored_models():
+                mem += model.memory.server_mb
+        return mem
+
+    def fits_memory(self, pod: Pod) -> bool:
+        return self.device.memory.can_allocate(self.pod_memory_requirement_mb(pod))
+
+    # -- pod lifecycle -------------------------------------------------------------
+    def admit(self, pod: Pod) -> Container:
+        """Bind and start a pod's container on this node."""
+        if pod.pod_id in self.containers:
+            raise NodeError(f"pod {pod.pod_id} already on {self.name}")
+        if self.sharing_mode == "exclusive" and self.containers:
+            raise NodeError(
+                f"{self.name}: device plugin grants exclusive GPU access; "
+                f"already hosting {next(iter(self.containers))}"
+            )
+        if not self.fits_memory(pod):
+            raise GpuOutOfMemoryError(
+                self.pod_memory_requirement_mb(pod),
+                self.device.memory.free_mb,
+                self.device.name,
+            )
+        pod.node_name = self.name
+        pod.transition(PodPhase.STARTING)
+        container = self._build_container(pod)
+        self.containers[pod.pod_id] = container
+        return container
+
+    def evict(self, pod: Pod) -> None:
+        """Terminate a pod's container and release its resources."""
+        container = self.containers.pop(pod.pod_id, None)
+        if container is None:
+            raise NodeError(f"pod {pod.pod_id} is not on {self.name}")
+        if pod.phase in (PodPhase.STARTING, PodPhase.RUNNING):
+            pod.transition(PodPhase.TERMINATING)
+        container.close()
+        pod.transition(PodPhase.TERMINATED)
+
+    # -- container wiring ---------------------------------------------------------
+    def _build_container(self, pod: Pod) -> Container:
+        spec = pod.spec
+        if self.sharing_mode in ("fast", "timeshare"):
+            partition = spec.sm_partition if self.sharing_mode == "fast" else 100.0
+            frontend = FaSTFrontend(
+                self.engine,
+                pod.pod_id,
+                self.backend,
+                self.driver,
+                self.mps_server,
+                sm_partition=partition,
+                quota_request=spec.quota_request,
+                quota_limit=spec.quota_limit,
+                gpu_mem_mb=spec.gpu_mem_mb,
+            )
+            store_lib = self._make_store_lib(pod, frontend.ctx) if spec.use_model_sharing else None
+
+            def teardown() -> None:
+                if store_lib is not None:
+                    store_lib.release_all()
+                frontend.close()
+
+            return Container(pod, frontend.hook, store_lib, frontend, teardown)
+
+        # racing / exclusive: unmanaged direct access.
+        self.device.memory.allocate(pod.pod_id, spec.gpu_mem_mb)
+        ctx = self.driver.create_context(pod.pod_id)
+        hook = DirectHookLibrary(self.engine, self.driver, ctx, pod.pod_id)
+        store_lib = self._make_store_lib(pod, ctx) if spec.use_model_sharing else None
+
+        def teardown() -> None:
+            if store_lib is not None:
+                store_lib.release_all()
+            self.driver.destroy_context(ctx)
+            self.device.memory.release_owner(pod.pod_id)
+
+        return Container(pod, hook, store_lib, None, teardown)
+
+    def _make_store_lib(self, pod: Pod, ctx) -> ModelStoreLib:
+        return ModelStoreLib(self.engine, self.model_storage, self.driver, ctx, pod.pod_id)

@@ -1,0 +1,98 @@
+"""Kubernetes object model (the subset FaST-GShare uses).
+
+A FaSTPod carries its spatio-temporal resources as annotations, mirroring the
+paper's CRD example (Fig. 4)::
+
+    faasshare/sm_partition:  "12"          # % of SMs
+    faasshare/quota_limit:   "0.8"         # max fraction of GPU time / window
+    faasshare/quota_request: "0.3"         # guaranteed fraction
+    faasshare/gpu_mem:       "1073741824"  # bytes
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+
+_uid_counter = itertools.count(1)
+
+
+class PodPhase(enum.Enum):
+    """Pod lifecycle phases (Kubernetes semantics)."""
+
+    PENDING = "Pending"
+    STARTING = "Starting"  # admitted to a node, container cold-starting
+    RUNNING = "Running"
+    TERMINATING = "Terminating"
+    TERMINATED = "Terminated"
+
+
+@dataclasses.dataclass(slots=True)
+class ObjectMeta:
+    """Object metadata: name, labels, annotations."""
+
+    name: str
+    labels: dict[str, str] = dataclasses.field(default_factory=dict)
+    annotations: dict[str, str] = dataclasses.field(default_factory=dict)
+    uid: int = dataclasses.field(default_factory=lambda: next(_uid_counter))
+
+
+@dataclasses.dataclass(slots=True)
+class PodSpec:
+    """Resource spec of one function instance pod."""
+
+    function_name: str
+    model_name: str
+    sm_partition: float
+    quota_request: float
+    quota_limit: float
+    gpu_mem_mb: float
+    use_model_sharing: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 < self.sm_partition <= 100:
+            raise ValueError(f"sm_partition {self.sm_partition} outside (0, 100]")
+        if not 0 < self.quota_request <= self.quota_limit <= 1.0:
+            raise ValueError(
+                f"need 0 < quota_request ({self.quota_request}) <= "
+                f"quota_limit ({self.quota_limit}) <= 1"
+            )
+        if self.gpu_mem_mb <= 0:
+            raise ValueError("gpu_mem_mb must be positive")
+
+    def annotations(self) -> dict[str, str]:
+        """Render the paper's FaSTPod annotation block."""
+        return {
+            "faasshare/sm_partition": f"{self.sm_partition:g}",
+            "faasshare/quota_limit": f"{self.quota_limit:g}",
+            "faasshare/quota_request": f"{self.quota_request:g}",
+            "faasshare/gpu_mem": str(int(self.gpu_mem_mb * 1024 * 1024)),
+        }
+
+
+@dataclasses.dataclass(slots=True)
+class Pod:
+    """One pod instance."""
+
+    meta: ObjectMeta
+    spec: PodSpec
+    phase: PodPhase = PodPhase.PENDING
+    node_name: str | None = None
+
+    @property
+    def pod_id(self) -> str:
+        return f"{self.meta.name}-{self.meta.uid}"
+
+    def transition(self, phase: PodPhase) -> None:
+        """Move through the lifecycle; invalid jumps raise."""
+        allowed: dict[PodPhase, set[PodPhase]] = {
+            PodPhase.PENDING: {PodPhase.STARTING, PodPhase.TERMINATED},
+            PodPhase.STARTING: {PodPhase.RUNNING, PodPhase.TERMINATING},
+            PodPhase.RUNNING: {PodPhase.TERMINATING},
+            PodPhase.TERMINATING: {PodPhase.TERMINATED},
+            PodPhase.TERMINATED: set(),
+        }
+        if phase not in allowed[self.phase]:
+            raise ValueError(f"{self.pod_id}: illegal transition {self.phase} -> {phase}")
+        self.phase = phase

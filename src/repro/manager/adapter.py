@@ -1,0 +1,58 @@
+"""The SM Allocation Adapter (paper §3.3.2, Fig. 5b).
+
+Over-allocating SM partitions causes interference, so the adapter ensures the
+sum of partitions of *currently token-holding* pods never exceeds
+``SM_GLOBAL_LIMIT`` (100%).  The multi-token scheduler keeps dispatching
+tokens for queue-head pods until it would cross the limit.
+"""
+
+from __future__ import annotations
+
+#: The paper's SM_GLOBAL_LIMIT: running partitions must not exceed 100% of SMs.
+SM_GLOBAL_LIMIT = 100.0
+
+
+class SMAllocationAdapter:
+    """Tracks SM capacity held by running (token-holding) pods."""
+
+    def __init__(self, limit: float = SM_GLOBAL_LIMIT):
+        if limit <= 0:
+            raise ValueError("SM limit must be positive")
+        self.limit = limit
+        self._running = 0.0
+        self._holders: dict[str, float] = {}
+
+    @property
+    def running_total(self) -> float:
+        """Σ S of running pods (the paper's ``S_running``)."""
+        return self._running
+
+    @property
+    def headroom(self) -> float:
+        return self.limit - self._running
+
+    def holds(self, pod_id: str) -> bool:
+        return pod_id in self._holders
+
+    def fits(self, sm_partition: float) -> bool:
+        """Would granting ``sm_partition`` keep ``S + S_running <= limit``?"""
+        return self._running + sm_partition <= self.limit + 1e-9
+
+    def acquire(self, pod_id: str, sm_partition: float) -> None:
+        """Reserve capacity for a token grant; caller must check :meth:`fits`."""
+        if pod_id in self._holders:
+            raise ValueError(f"{pod_id} already holds an SM reservation")
+        if not self.fits(sm_partition):
+            raise ValueError(
+                f"grant of {sm_partition}% exceeds limit: running={self._running}%"
+            )
+        self._holders[pod_id] = sm_partition
+        self._running += sm_partition
+
+    def release(self, pod_id: str) -> float:
+        """Release a pod's reservation; returns the freed percentage."""
+        partition = self._holders.pop(pod_id, 0.0)
+        self._running -= partition
+        if self._running < 1e-9:
+            self._running = 0.0
+        return partition

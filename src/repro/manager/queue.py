@@ -1,0 +1,24 @@
+"""The Ready-function Priority Queue (paper §3.3.2).
+
+Pods with token requests pending and quota remaining are ordered by
+descending ``Q_miss = Q_request − Q_used`` — "the scheduler always
+prioritizes scheduling pods with the largest timing missing gap".  Pods past
+their guaranteed request but under their limit (elastic region, negative
+``Q_miss``) sort naturally after every under-served pod, which implements the
+paper's work-conserving elastic allocation.  Ties break FIFO by request
+arrival for determinism.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.manager.backend import PodEntry
+
+
+def ready_queue_order(entries: _t.Iterable["PodEntry"]) -> list["PodEntry"]:
+    """Sort ready pods by (Q_miss desc, arrival seq asc)."""
+    ready = [e for e in entries if e.waiting and not e.blocked and not e.holding]
+    ready.sort(key=lambda e: (-e.q_miss, e.arrival_seq))
+    return ready

@@ -1,0 +1,22 @@
+"""DL model substrate: calibrated inference profiles.
+
+The paper benchmarks MLPerf models (ResNet, RNNT, BERT, GNMT) plus two large
+transformers (ResNeXt101-xlarge, ViT-Huge) for the model-sharing study.  We
+replace the real networks with *calibrated analytic profiles*: per-model GPU
+busy time, host overhead, kernel-burst structure, SM-scalability anchors at
+the paper's profiling grid, SM residency (occupancy), and memory composition
+— each constant derived from a number the paper reports (see DESIGN.md §5).
+"""
+
+from repro.models.profiles import MemoryProfile, ModelProfile
+from repro.models.scaling import interpolate_anchors, saturation_point
+from repro.models.zoo import MODEL_ZOO, get_model
+
+__all__ = [
+    "MODEL_ZOO",
+    "MemoryProfile",
+    "ModelProfile",
+    "get_model",
+    "interpolate_anchors",
+    "saturation_point",
+]

@@ -1,0 +1,55 @@
+"""SM-partition scalability curves.
+
+DL models do not speed up linearly with more SMs: throughput grows roughly
+linearly at small partitions and saturates once the model's kernels cannot
+fill additional SMs (paper Fig. 8; "a model cannot fully occupy all SMs").
+We represent each model's curve by *anchors* measured at the paper's
+profiling grid {6, 12, 24, 50, 60, 80, 100}% and interpolate piecewise
+linearly between them.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+def interpolate_anchors(anchors: _t.Mapping[float, float], partition_pct: float) -> float:
+    """Relative processing rate (0..1] at ``partition_pct``% of SMs.
+
+    Below the smallest anchor the curve falls linearly to (0, 0) — a zero-SM
+    partition does no work.  Above the largest anchor it is clamped (the
+    curve has saturated by construction).
+    """
+    if partition_pct <= 0:
+        raise ValueError(f"partition {partition_pct}% must be positive")
+    points = sorted(anchors.items())
+    if not points:
+        raise ValueError("need at least one anchor")
+    lo_s, lo_v = points[0]
+    if partition_pct <= lo_s:
+        return lo_v * partition_pct / lo_s
+    for (s0, v0), (s1, v1) in zip(points, points[1:]):
+        if partition_pct <= s1:
+            frac = (partition_pct - s0) / (s1 - s0)
+            return v0 + frac * (v1 - v0)
+    return points[-1][1]
+
+
+def saturation_point(anchors: _t.Mapping[float, float], threshold: float = 0.97) -> float:
+    """Smallest anchor partition reaching ``threshold`` of the max rate.
+
+    The paper observes "larger models require more SM partitions to reach the
+    saturation state"; this is the quantity the observation is about.
+    """
+    points = sorted(anchors.items())
+    peak = max(v for _, v in points)
+    for s, v in points:
+        if v >= threshold * peak:
+            return s
+    return points[-1][0]
+
+
+def monotone(anchors: _t.Mapping[float, float]) -> bool:
+    """True if the anchor curve never decreases (validated at zoo build)."""
+    values = [v for _, v in sorted(anchors.items())]
+    return all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,170 @@
+"""The calibrated model zoo.
+
+Every constant below is tied to a number in the paper:
+
+* **Saturated throughputs** (§5.3 text): ResNet racing pod 71.37 req/s, RNNT
+  12.51, GNMT 28.85 — these fix ``1/(gpu_time + host_time)``.
+* **Scalability anchors** (Fig. 8 curves + §5.3 aggregate throughputs):
+  8 pods x 12% SMs reach 296.8 (ResNet), 43.24 (RNNT), 43.79 (GNMT) req/s,
+  fixing the 12% anchors at 0.49 / 0.42 / 0.178; the remaining grid points
+  follow the Fig. 8 shapes (ResNet saturates by 24%, BERT by ~60%, GNMT only
+  at 100%: "larger models require more SM partitions").
+* **SM residency** (Figs. 1b/10/11): time-shared occupancy stays below 10%
+  while 8-way spatial sharing roughly triples it; residencies 0.055-0.09 with
+  a sqrt partition exponent land on the reported 25.3% packed-GPU occupancy.
+* **Memory composition** (Fig. 13): framework 1100 MB + per-model weights /
+  activations / IPC overhead reproduce the bars exactly
+  (1525/1427/416, 1745/1501/601, 3335/1829/1805±1, 4735/2101/2979 MB).
+"""
+
+from __future__ import annotations
+
+from repro.models.profiles import MemoryProfile, ModelProfile
+
+#: PyTorch CUDA context + runtime on a V100 — common to all models (Fig. 13).
+_FRAMEWORK_MB = 1100.0
+
+
+def _mk(**kwargs) -> ModelProfile:
+    return ModelProfile(**kwargs)
+
+
+MODEL_ZOO: dict[str, ModelProfile] = {
+    # ---- MLPerf serving models (Figs. 8-12) --------------------------------
+    "resnet50": _mk(
+        name="resnet50",
+        task="vision",
+        framework="pytorch",
+        gpu_time_ms=12.5,
+        host_time_ms=1.51,  # 1/(12.5+1.51 ms) = 71.37 req/s racing pod (§5.3)
+        n_bursts=4,
+        sm_residency=0.055,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.28, 12: 0.49, 24: 0.93, 50: 1.0, 60: 1.0, 80: 1.0, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=98.0, activation_mb=327.0,
+            ipc_overhead_mb=18.0,  # Fig. 13: 1525 / 1427 / 416 MB
+        ),
+        slo_ms=69.0,  # paper §5.4
+        load_time_s=2.2,
+        shared_load_time_s=0.25,
+    ),
+    "rnnt": _mk(
+        name="rnnt",
+        task="speech_recognition",
+        framework="pytorch",
+        gpu_time_ms=75.0,
+        host_time_ms=4.93,  # 1/(75+4.93 ms) = 12.51 req/s (§5.3)
+        n_bursts=10,  # recurrent decoder: many sync points per request
+        sm_residency=0.060,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.25, 12: 0.42, 24: 0.70, 50: 0.92, 60: 1.0, 80: 1.0, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=519.0, activation_mb=310.0,
+            ipc_overhead_mb=30.0,
+        ),
+        slo_ms=500.0,  # Fig. 10: spatial-sharing tail latency stays below 500 ms
+        load_time_s=3.1,
+        shared_load_time_s=0.35,
+    ),
+    "bert": _mk(
+        name="bert",
+        task="reasoning",
+        framework="pytorch",
+        gpu_time_ms=18.5,
+        host_time_ms=1.5,  # 1/(18.5+1.5 ms) = 50 req/s (Fig. 8 peak)
+        n_bursts=4,
+        sm_residency=0.090,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.20, 12: 0.40, 24: 0.70, 50: 0.92, 60: 0.97, 80: 1.0, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=650.0, activation_mb=350.0,
+            ipc_overhead_mb=35.0,
+        ),
+        slo_ms=150.0,
+        load_time_s=3.4,
+        shared_load_time_s=0.35,
+    ),
+    "gnmt": _mk(
+        name="gnmt",
+        task="translation",
+        framework="tensorflow",
+        gpu_time_ms=32.0,
+        host_time_ms=2.66,  # 1/(32+2.66 ms) = 28.85 req/s (§5.3)
+        n_bursts=6,
+        sm_residency=0.075,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.09, 12: 0.178, 24: 0.36, 50: 0.70, 60: 0.80, 80: 0.92, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=758.0, activation_mb=380.0,
+            ipc_overhead_mb=40.0,
+        ),
+        slo_ms=250.0,
+        load_time_s=3.6,
+        shared_load_time_s=0.4,
+    ),
+    # ---- Model-sharing study models (Fig. 13) --------------------------------
+    "resnet152": _mk(
+        name="resnet152",
+        task="vision",
+        framework="pytorch",
+        gpu_time_ms=28.0,
+        host_time_ms=2.0,
+        n_bursts=5,
+        sm_residency=0.060,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.22, 12: 0.42, 24: 0.80, 50: 0.98, 60: 1.0, 80: 1.0, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=244.0, activation_mb=401.0,
+            ipc_overhead_mb=57.0,  # Fig. 13: 1745 / 1501 / 601 MB
+        ),
+        slo_ms=150.0,
+        load_time_s=2.8,
+        shared_load_time_s=0.3,
+    ),
+    "resnext_xlarge": _mk(
+        name="resnext_xlarge",
+        task="vision",
+        framework="pytorch",
+        gpu_time_ms=55.0,
+        host_time_ms=3.0,
+        n_bursts=5,
+        sm_residency=0.085,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.12, 12: 0.24, 24: 0.46, 50: 0.80, 60: 0.88, 80: 0.97, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=1506.0, activation_mb=729.0,
+            ipc_overhead_mb=0.0,  # Fig. 13: 3335 / 1829 / 1805 (we get 1806; ±1 MB)
+        ),
+        slo_ms=300.0,
+        load_time_s=5.0,
+        shared_load_time_s=0.5,
+    ),
+    "vit_huge": _mk(
+        name="vit_huge",
+        task="vision",
+        framework="pytorch",
+        gpu_time_ms=85.0,
+        host_time_ms=4.0,
+        n_bursts=6,
+        sm_residency=0.095,
+        occupancy_exponent=0.5,
+        scaling_anchors={6: 0.08, 12: 0.17, 24: 0.34, 50: 0.68, 60: 0.79, 80: 0.93, 100: 1.0},
+        memory=MemoryProfile(
+            framework_mb=_FRAMEWORK_MB, weights_mb=2634.0, activation_mb=1001.0,
+            ipc_overhead_mb=45.0,  # Fig. 13: 4735 / 2101 / 2979 MB
+        ),
+        slo_ms=500.0,
+        load_time_s=7.5,
+        shared_load_time_s=0.6,
+    ),
+}
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

@@ -1,0 +1,14 @@
+"""Model sharing (paper §3.5): one copy of model tensors per GPU.
+
+The :class:`~repro.modelshare.server.ModelStorageServer` (Plasma-like object
+store) allocates weight tensors on the GPU once, exports CUDA IPC handles,
+and pods map them zero-copy through the
+:class:`~repro.modelshare.store_lib.ModelStoreLib` ``STORE()``/``GET()`` API.
+Each stored model pays a fixed ~300 MB storage-process context (the hatched
+bars of Fig. 13); every additional replica saves the full weight size.
+"""
+
+from repro.modelshare.server import ModelStorageServer, StoredModel
+from repro.modelshare.store_lib import ModelStoreLib
+
+__all__ = ["ModelStorageServer", "ModelStoreLib", "StoredModel"]

@@ -1,0 +1,342 @@
+"""The FaST-GShare platform facade.
+
+One object wiring the whole stack — engine, cluster (nodes with GPU + MPS +
+FaST Backend + model storage), function registry, gateway, FaSTPod
+controllers, and optionally the FaST-Scheduler — behind a small experiment
+API::
+
+    platform = FaSTGShare.build(nodes=4, gpu="V100", sharing="fast", seed=42)
+    platform.register_function("classify", model="resnet50", slo_ms=69)
+    platform.deploy("classify", configs=[(12, 0.4)] * 4)
+    report = platform.run_workload("classify", rps=120, duration=60)
+    print(report.summary())
+
+``sharing`` selects the mechanism under test:
+
+==============  ==================================================================
+``fast``        FaST-GShare: MPS partitions + multi-token backend + MRA placement
+``timeshare``   KubeShare-like: full-SM pods, single-token passing, quota packing
+``racing``      unmanaged MPS-less contention (pods race for the device)
+``exclusive``   NVIDIA device plugin: one pod per GPU
+==============  ==================================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.faas.function import FunctionRegistry, FunctionSpec
+from repro.faas.gateway import Gateway
+from repro.faas.loadgen import ClosedLoopClient, OpenLoopGenerator
+from repro.faas.replica import FunctionReplica
+from repro.faas.requests import RequestLog
+from repro.faas.slo import violation_ratio
+from repro.faas.workload import ConstantRate, PoissonRate, Workload
+from repro.k8s.cluster import Cluster
+from repro.k8s.deviceplugin import DevicePlugin
+from repro.k8s.fastpod import FaSTPodController
+from repro.profiler.database import ProfileDatabase
+from repro.scheduler.mra import MaximalRectanglesScheduler, NoFitError
+from repro.scheduler.placement_baselines import QuotaPackingScheduler
+from repro.scheduler.scheduler import FaSTScheduler
+from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PlatformConfig:
+    """Construction parameters of one platform instance."""
+
+    nodes: int = 1
+    gpu: str = "V100"
+    sharing: str = "fast"
+    window: float = 0.1
+    seed: int = 42
+
+
+@dataclasses.dataclass(slots=True)
+class RunReport:
+    """Aggregated results of one measured workload window."""
+
+    function: str
+    duration: float
+    submitted: int
+    completed: int
+    throughput: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    slo_ms: float
+    slo_violation_ratio: float
+    node_metrics: list[tuple[str, float, float]]
+    log: RequestLog
+
+    def summary(self) -> str:
+        lines = [
+            f"function={self.function}  window={self.duration:.1f}s  "
+            f"submitted={self.submitted}  completed={self.completed}",
+            f"throughput={self.throughput:.2f} req/s  p50={self.p50_ms:.1f} ms  "
+            f"p95={self.p95_ms:.1f} ms  p99={self.p99_ms:.1f} ms",
+            f"SLO={self.slo_ms:.0f} ms  violations={100 * self.slo_violation_ratio:.2f}%",
+        ]
+        for name, util, occ in self.node_metrics:
+            lines.append(f"  {name}: GPU util {util:5.1f}%   SM occupancy {occ:5.2f}%")
+        return "\n".join(lines)
+
+
+class FaSTGShare:
+    """The assembled platform (see module docstring)."""
+
+    def __init__(self, config: PlatformConfig):
+        self.config = config
+        self.engine = Engine(seed=config.seed)
+        self.cluster = Cluster(
+            self.engine,
+            nodes=config.nodes,
+            gpu=config.gpu,
+            sharing_mode=config.sharing,
+            window=config.window,
+        )
+        self.registry = FunctionRegistry()
+        self.gateway = Gateway(self.engine, self.registry)
+        self.controllers: dict[str, FaSTPodController] = {}
+        self.profile_db: ProfileDatabase | None = None
+        self.scheduler: FaSTScheduler | None = None
+        # Placement state for the manual deploy() paths.
+        node_names = [n.name for n in self.cluster.nodes]
+        self._mra = MaximalRectanglesScheduler(node_names)
+        self._quota_packer = QuotaPackingScheduler(node_names)
+        self._device_plugin = DevicePlugin(self.cluster)
+
+    @classmethod
+    def build(
+        cls,
+        nodes: int = 1,
+        gpu: str = "V100",
+        sharing: str = "fast",
+        window: float = 0.1,
+        seed: int = 42,
+    ) -> "FaSTGShare":
+        return cls(PlatformConfig(nodes=nodes, gpu=gpu, sharing=sharing, window=window, seed=seed))
+
+    # -- function management ------------------------------------------------------
+    def register_function(
+        self,
+        name: str,
+        model: str,
+        slo_ms: float | None = None,
+        model_sharing: bool = False,
+    ) -> FunctionSpec:
+        spec = FunctionSpec.from_model(name, model, slo_ms, use_model_sharing=model_sharing)
+        self.registry.register(spec)
+        self.controllers[name] = FaSTPodController(self.engine, self.cluster, self.gateway, spec)
+        return spec
+
+    # -- deployment ------------------------------------------------------------------
+    def deploy(
+        self,
+        function: str,
+        configs: _t.Sequence[tuple[float, float] | tuple[float, float, float]],
+        node: int | str | None = None,
+    ) -> list[FunctionReplica]:
+        """Deploy replicas with explicit (sm%, quota[, quota_limit]) configs.
+
+        Placement follows the platform's sharing mode unless ``node`` pins a
+        target (used by single-GPU experiments like Fig. 10's racing runs).
+        """
+        controller = self.controllers[function]
+        replicas = []
+        for config in configs:
+            if len(config) == 2:
+                sm, q_req = config  # type: ignore[misc]
+                q_lim = q_req
+            else:
+                sm, q_req, q_lim = config  # type: ignore[misc]
+            replicas.append(self._deploy_one(controller, sm, q_req, q_lim, node))
+        return replicas
+
+    def _deploy_one(
+        self,
+        controller: FaSTPodController,
+        sm: float,
+        q_req: float,
+        q_lim: float,
+        node: int | str | None,
+    ) -> FunctionReplica:
+        sharing = self.config.sharing
+        if node is not None:
+            target = self.cluster.node(node)
+            replica = controller.scale_up(target, sm, q_req, q_lim)
+            if sharing == "fast":
+                try:
+                    self._mra.gpus[target.name].place(replica.pod.pod_id, q_lim * 100.0, sm)
+                    self._mra._bindings[replica.pod.pod_id] = target.name
+                except NoFitError:
+                    pass  # pinned deployments may deliberately over-subscribe
+            return replica
+        if sharing == "fast":
+            probe = self._memory_probe(controller.function)
+            choice = self._mra.select_node(q_lim * 100.0, sm, allowed=probe)
+            if choice is None:
+                raise NoFitError(
+                    f"{controller.function.name}: no GPU fits (q={q_lim}, s={sm})"
+                )
+            node_name, rect = choice
+            target = self.cluster.node(node_name)
+            replica = controller.scale_up(target, sm, q_req, q_lim)
+            self._mra.gpus[node_name].place(replica.pod.pod_id, q_lim * 100.0, sm, target=rect)
+            self._mra._bindings[replica.pod.pod_id] = node_name
+            return replica
+        if sharing == "timeshare":
+            # KubeShare-style: pack by time quota only (every pod sees all SMs).
+            reservation = f"pending-{controller.function.name}-{id(controller)}-{controller.replica_count}"
+            node_name = self._quota_packer.bind(reservation, q_lim)
+            target = self.cluster.node(node_name)
+            replica = controller.scale_up(target, sm, q_req, q_lim)
+            self._quota_packer.unbind(reservation)
+            self._quota_packer.bind(replica.pod.pod_id, q_lim)
+            return replica
+        if sharing == "exclusive":
+            target = self._device_plugin.acquire(f"{controller.function.name}-next")
+            replica = controller.scale_up(target, sm, q_req, q_lim)
+            self._device_plugin.release(target.name)
+            self._device_plugin._assigned[target.name] = replica.pod.pod_id
+            return replica
+        # racing: pile pods onto the first node unless pinned.
+        return controller.scale_up(self.cluster.node(0), sm, q_req, q_lim)
+
+    def _memory_probe(self, function: FunctionSpec):
+        mem = function.pod_gpu_mem_mb()
+
+        def allowed(node_name: str) -> bool:
+            node = self.cluster.node(node_name)
+            extra = 0.0
+            if function.use_model_sharing:
+                if function.model.name not in node.model_storage.stored_models():
+                    extra = function.model.memory.server_mb
+            return node.device.memory.can_allocate(mem + extra)
+
+        return allowed
+
+    def scale_down(self, function: str, pod_id: str, drain: bool = True) -> None:
+        controller = self.controllers[function]
+        controller.scale_down(pod_id, drain=drain)
+        for placement in (self._mra,):
+            try:
+                placement.unbind(pod_id)
+            except KeyError:
+                pass
+
+    # -- auto-scaling ---------------------------------------------------------------
+    def start_autoscaler(
+        self,
+        database: ProfileDatabase,
+        interval: float = 2.0,
+        headroom: float = 1.10,
+        scale_down_cooldown: float = 6.0,
+        min_replicas: int = 1,
+        latency_headroom: float = 0.6,
+    ) -> FaSTScheduler:
+        """Attach and start the FaST-Scheduler over the given profile DB."""
+        self.profile_db = database
+        self.scheduler = FaSTScheduler(
+            self.engine,
+            self.cluster,
+            self.gateway,
+            database,
+            self.controllers,
+            interval=interval,
+            headroom=headroom,
+            scale_down_cooldown=scale_down_cooldown,
+            min_replicas=min_replicas,
+            latency_headroom=latency_headroom,
+        )
+        self.scheduler.start()
+        return self.scheduler
+
+    # -- running ------------------------------------------------------------------------
+    def wait_ready(self, function: str | None = None, timeout: float = 60.0) -> None:
+        """Advance the clock until every replica finished its cold start."""
+        deadline = self.engine.now + timeout
+        names = [function] if function else list(self.controllers)
+        while self.engine.now < deadline:
+            pending = [
+                r
+                for name in names
+                for r in self.controllers[name].replicas.values()
+                if not r.ready
+            ]
+            if not pending:
+                return
+            self.engine.run(until=min(deadline, self.engine.now + 0.25))
+        raise TimeoutError("replicas did not become ready in time")
+
+    def run_workload(
+        self,
+        function: str,
+        workload: Workload | None = None,
+        rps: float | None = None,
+        duration: float | None = None,
+        poisson: bool = True,
+        warm_start: bool = True,
+    ) -> RunReport:
+        """Drive one function open-loop and report over the workload window."""
+        if workload is None:
+            if rps is None or duration is None:
+                raise ValueError("give either a Workload or rps+duration")
+            workload = (PoissonRate if poisson else ConstantRate)(rps, duration)
+        if warm_start:
+            self.wait_ready(function)
+        t0 = self.engine.now
+        self.cluster.reset_metrics()
+        generator = OpenLoopGenerator(self.engine, self.gateway, function, workload)
+        self.engine.run(until=t0 + workload.duration)
+        return self._report(function, t0, self.engine.now, self.gateway.submitted[function])
+
+    def run_closed_loop(
+        self,
+        function: str,
+        concurrency: int,
+        duration: float,
+        warm_start: bool = True,
+    ) -> RunReport:
+        """Drive one function with fixed virtual users (k6 VU semantics)."""
+        if warm_start:
+            self.wait_ready(function)
+        t0 = self.engine.now
+        self.cluster.reset_metrics()
+        submitted_before = self.gateway.submitted[function]
+        client = ClosedLoopClient(self.engine, self.gateway, function, concurrency=concurrency)
+        self.engine.run(until=t0 + duration)
+        client.stop()
+        submitted = self.gateway.submitted[function] - submitted_before
+        return self._report(function, t0, self.engine.now, submitted)
+
+    def _report(self, function: str, t0: float, t1: float, submitted: int) -> RunReport:
+        spec = self.registry.get(function)
+        window = self.gateway.log.in_window(t0, t1)
+        window.completed = [r for r in window.completed if r.function == function]
+        duration = t1 - t0
+        return RunReport(
+            function=function,
+            duration=duration,
+            submitted=submitted,
+            completed=len(window),
+            throughput=window.throughput(duration),
+            p50_ms=window.latency_percentile_ms(50),
+            p95_ms=window.latency_percentile_ms(95),
+            p99_ms=window.latency_percentile_ms(99),
+            slo_ms=spec.slo_ms,
+            slo_violation_ratio=violation_ratio(window, spec.slo_ms),
+            node_metrics=self.cluster.node_metrics(),
+            log=window,
+        )
+
+    # -- conveniences -----------------------------------------------------------------
+    def rng(self, name: str) -> np.random.Generator:
+        return self.engine.rng.stream(name)
+
+    def replicas(self, function: str) -> list[FunctionReplica]:
+        return list(self.controllers[function].replicas.values())

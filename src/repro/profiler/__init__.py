@@ -1,0 +1,27 @@
+"""FaST-Profiler (paper §3.2, Fig. 3).
+
+Automates profiling of function throughput/latency under every
+spatio-temporal resource configuration: the Configuration Server samples
+(SM partition × time quota) points, each Trial launches a sandboxed FaSTPod
+plus a closed-loop load client, and the results land in the Profile Database
+the FaST-Scheduler reads (``<F, S, Q, T>`` tuples plus latency and GPU
+metrics).
+"""
+
+from repro.profiler.config_server import (
+    DEFAULT_SPATIAL_POINTS,
+    DEFAULT_TEMPORAL_POINTS,
+    ConfigurationServer,
+)
+from repro.profiler.database import ProfileDatabase, ProfilePoint
+from repro.profiler.experiment import FaSTProfiler, TrialResult
+
+__all__ = [
+    "ConfigurationServer",
+    "DEFAULT_SPATIAL_POINTS",
+    "DEFAULT_TEMPORAL_POINTS",
+    "FaSTProfiler",
+    "ProfileDatabase",
+    "ProfilePoint",
+    "TrialResult",
+]

@@ -1,0 +1,53 @@
+"""The Configuration Server: samples (S, Q) profiling points (paper §5.2).
+
+Default grid (the paper's profiling points):
+
+* temporal: 20%, 40%, 60%, 80%, 100% — equal intervals, since throughput is
+  essentially proportional to the time quota;
+* spatial: 6%, 12%, 24%, 50%, 60%, 80%, 100% — denser at small partitions
+  where the scalability knee lives.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+DEFAULT_TEMPORAL_POINTS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+DEFAULT_SPATIAL_POINTS: tuple[float, ...] = (6, 12, 24, 50, 60, 80, 100)
+
+
+class ConfigurationServer:
+    """Enumerates or subsamples the (S, Q) configuration space."""
+
+    def __init__(
+        self,
+        spatial: _t.Sequence[float] = DEFAULT_SPATIAL_POINTS,
+        temporal: _t.Sequence[float] = DEFAULT_TEMPORAL_POINTS,
+    ):
+        if not spatial or not temporal:
+            raise ValueError("need at least one spatial and one temporal point")
+        for s in spatial:
+            if not 0 < s <= 100:
+                raise ValueError(f"spatial point {s} outside (0, 100]")
+        for q in temporal:
+            if not 0 < q <= 1:
+                raise ValueError(f"temporal point {q} outside (0, 1]")
+        self.spatial = tuple(spatial)
+        self.temporal = tuple(temporal)
+
+    def grid(self) -> list[tuple[float, float]]:
+        """The full (S, Q) cartesian grid, spatial-major."""
+        return [(s, q) for s in self.spatial for q in self.temporal]
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[tuple[float, float]]:
+        """A random subsample of the grid (budgeted profiling)."""
+        grid = self.grid()
+        if n >= len(grid):
+            return grid
+        index = rng.choice(len(grid), size=n, replace=False)
+        return [grid[i] for i in sorted(index)]
+
+    def __len__(self) -> int:
+        return len(self.spatial) * len(self.temporal)

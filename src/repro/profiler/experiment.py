@@ -1,0 +1,129 @@
+"""The Experiment/Trial workflow (paper Fig. 3).
+
+One *Experiment* profiles a function across sampled configurations; each
+*Trial* runs in a fresh sandbox: a single-node cluster, one FaSTPod with
+``quota_request = quota_limit = Q`` (the paper pins both for profiling), and
+a closed-loop plug-in client that saturates the pod while collecting function
+metrics (throughput, latency percentiles) and GPU metrics (utilization, SM
+occupancy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.faas.function import FunctionRegistry, FunctionSpec
+from repro.faas.gateway import Gateway
+from repro.faas.loadgen import ClosedLoopClient
+from repro.k8s.cluster import Cluster
+from repro.k8s.fastpod import FaSTPodController
+from repro.profiler.config_server import ConfigurationServer
+from repro.profiler.database import ProfileDatabase, ProfilePoint
+from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TrialResult:
+    """Raw measurements of one profiling trial."""
+
+    sm_partition: float
+    quota: float
+    throughput: float
+    p50_ms: float
+    p95_ms: float
+    gpu_utilization: float
+    sm_occupancy: float
+    completed: int
+
+
+class FaSTProfiler:
+    """Automated profiler for FaaS functions."""
+
+    def __init__(
+        self,
+        database: ProfileDatabase | None = None,
+        config_server: ConfigurationServer | None = None,
+        trial_duration: float = 20.0,
+        warmup: float = 2.0,
+        concurrency: int = 8,
+        window: float = 0.1,
+        gpu: str = "V100",
+        seed: int = 7,
+    ):
+        if trial_duration <= 0 or warmup < 0:
+            raise ValueError("bad trial timing")
+        self.database = database if database is not None else ProfileDatabase()
+        self.config_server = config_server if config_server is not None else ConfigurationServer()
+        self.trial_duration = trial_duration
+        self.warmup = warmup
+        self.concurrency = concurrency
+        self.window = window
+        self.gpu = gpu
+        self.seed = seed
+
+    # -- experiment ------------------------------------------------------------
+    def profile_function(
+        self,
+        function: FunctionSpec,
+        configs: _t.Sequence[tuple[float, float]] | None = None,
+    ) -> list[ProfilePoint]:
+        """Run trials for every configuration and store the profile records."""
+        configs = list(configs) if configs is not None else self.config_server.grid()
+        points = []
+        for sm, quota in configs:
+            trial = self.run_trial(function, sm, quota)
+            point = ProfilePoint(
+                function=function.name,
+                sm_partition=sm,
+                quota=quota,
+                throughput=trial.throughput,
+                p50_ms=trial.p50_ms,
+                p95_ms=trial.p95_ms,
+                gpu_utilization=trial.gpu_utilization,
+                sm_occupancy=trial.sm_occupancy,
+            )
+            self.database.insert(point)
+            points.append(point)
+        return points
+
+    # -- trial -------------------------------------------------------------------
+    def run_trial(self, function: FunctionSpec, sm_partition: float, quota: float) -> TrialResult:
+        """One sandboxed Trial: launch FaSTPod + client, measure, tear down."""
+        engine = Engine(seed=self.seed)
+        cluster = Cluster(engine, nodes=1, gpu=self.gpu, sharing_mode="fast", window=self.window)
+        registry = FunctionRegistry()
+        registry.register(function)
+        gateway = Gateway(engine, registry)
+        controller = FaSTPodController(engine, cluster, gateway, function)
+        node = cluster.node(0)
+        # Profiling pins quota_request = quota_limit (paper §3.3.2).
+        controller.scale_up(node, sm_partition, quota, quota)
+
+        # Wait out the cold start plus a warmup under load before measuring.
+        client = ClosedLoopClient(engine, gateway, function.name, concurrency=self.concurrency)
+        engine.run(until=function.model.load_time_s + self.warmup)
+        mark_start = engine.now
+        node.device.sync_metrics()
+        node.device.metrics.reset(mark_start)
+        completed_before = len(gateway.log)
+
+        engine.run(until=mark_start + self.trial_duration)
+        node.device.sync_metrics()
+        now = engine.now
+
+        window_log = gateway.log.in_window(mark_start, now)
+        completed = len(gateway.log) - completed_before
+        throughput = completed / self.trial_duration
+        result = TrialResult(
+            sm_partition=sm_partition,
+            quota=quota,
+            throughput=throughput,
+            p50_ms=window_log.latency_percentile_ms(50),
+            p95_ms=window_log.latency_percentile_ms(95),
+            gpu_utilization=100.0 * node.device.metrics.utilization(now),
+            sm_occupancy=100.0 * node.device.metrics.sm_occupancy(now),
+            completed=completed,
+        )
+        client.stop()
+        return result

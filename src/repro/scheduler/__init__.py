@@ -1,0 +1,46 @@
+"""FaST-Scheduler (paper §3.4).
+
+* :mod:`repro.scheduler.rectangles` — 2D resource-rectangle geometry
+  (splits, intersection subdivision, containment pruning);
+* :mod:`repro.scheduler.mra` — the Maximal Rectangles Algorithm (paper
+  Alg. 2): per-GPU free-rectangle lists, global best-area-fit node
+  selection, keep-restructure reclamation;
+* :mod:`repro.scheduler.autoscale` — the Heuristic Scaling Algorithm (paper
+  Alg. 1) built on the profiler's RPR metric;
+* :mod:`repro.scheduler.placement_baselines` — first-fit and guillotine
+  placement for the ablation study;
+* :mod:`repro.scheduler.scheduler` — the control loop wiring prediction →
+  scaling plan → node selection → FaSTPod actions.
+"""
+
+from repro.scheduler.autoscale import (
+    HeuristicScaler,
+    RunningPod,
+    ScaleDownAction,
+    ScaleUpAction,
+)
+from repro.scheduler.mra import GPURectangleList, MaximalRectanglesScheduler, NoFitError
+from repro.scheduler.placement_baselines import (
+    FirstFitRectScheduler,
+    GuillotineRectangleList,
+    QuotaPackingScheduler,
+)
+from repro.scheduler.rectangles import Rect, prune_contained, subtract
+from repro.scheduler.scheduler import FaSTScheduler
+
+__all__ = [
+    "FaSTScheduler",
+    "FirstFitRectScheduler",
+    "GPURectangleList",
+    "GuillotineRectangleList",
+    "HeuristicScaler",
+    "MaximalRectanglesScheduler",
+    "NoFitError",
+    "QuotaPackingScheduler",
+    "Rect",
+    "RunningPod",
+    "ScaleDownAction",
+    "ScaleUpAction",
+    "prune_contained",
+    "subtract",
+]

@@ -1,0 +1,216 @@
+"""The Maximal Rectangles Algorithm (paper Algorithm 2).
+
+Each GPU keeps a list of (mutually overlapping, maximal) free rectangles.
+Placing a pod:
+
+1. **Best matching** — globally across GPUs, pick the free rectangle that
+   fits the pod with the minimum ``Area(R) − Area(F)`` difference (the
+   "secondCores" measure).  Note the paper's constraint line reads
+   ``w_R ≤ w_F``; it must be ``≥`` for the rectangle to accommodate the pod —
+   we implement the evident intent.
+2. **Place** at the rectangle's bottom-left; keep the two *maximal* splits
+   (full-height right remainder, full-width top remainder).
+3. **Intersection update** — every other free rectangle overlapping the
+   placed pod is subdivided into its maximal complements.
+4. **Prune** contained rectangles.
+
+Reclamation follows the "keep-restructure" policy: a removed pod's rectangle
+goes straight back on the free list (cheap reuse for re-scaling functions);
+once the list exceeds a threshold the whole GPU is rebuilt from the still-
+placed pods, curing accumulated fragmentation.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.scheduler.rectangles import EPS, Rect, prune_contained, subtract
+
+#: Default W × H: 100% time quota × 100% SMs.
+GPU_W = 100.0
+GPU_H = 100.0
+
+
+class NoFitError(RuntimeError):
+    """No free rectangle can fit the pod — "a new GPU required" (paper)."""
+
+
+class GPURectangleList:
+    """Free/placed rectangle bookkeeping for one GPU."""
+
+    def __init__(self, width: float = GPU_W, height: float = GPU_H,
+                 restructure_threshold: int = 24):
+        if width <= 0 or height <= 0:
+            raise ValueError("GPU rectangle must have positive extent")
+        if restructure_threshold < 1:
+            raise ValueError("restructure threshold must be >= 1")
+        self.width = width
+        self.height = height
+        self.restructure_threshold = restructure_threshold
+        self.free: list[Rect] = [Rect(0.0, 0.0, width, height)]
+        self.placed: dict[str, Rect] = {}
+        self.restructures = 0
+
+    # -- queries ---------------------------------------------------------------
+    def used_area(self) -> float:
+        return sum(r.area for r in self.placed.values())
+
+    def free_area(self) -> float:
+        return self.width * self.height - self.used_area()
+
+    def best_fit(self, w: float, h: float) -> Rect | None:
+        """Minimum-area-difference free rectangle that fits (w, h)."""
+        best: Rect | None = None
+        best_key: tuple[float, float, float] | None = None
+        for rect in self.free:
+            if not rect.fits(w, h):
+                continue
+            # Area difference first; (x, y) tie-break keeps packing
+            # bottom-left-biased and deterministic.
+            key = (rect.area - w * h, rect.x, rect.y)
+            if best_key is None or key < best_key:
+                best, best_key = rect, key
+        return best
+
+    def can_fit(self, w: float, h: float) -> bool:
+        return self.best_fit(w, h) is not None
+
+    # -- mutation -----------------------------------------------------------------
+    def place(self, pod_id: str, w: float, h: float, target: Rect | None = None) -> Rect:
+        """Place a (w, h) pod; returns its bound rectangle."""
+        if pod_id in self.placed:
+            raise ValueError(f"pod {pod_id} already placed")
+        if w <= 0 or h <= 0 or w > self.width + EPS or h > self.height + EPS:
+            raise ValueError(f"pod rectangle ({w}, {h}) outside GPU bounds")
+        rect = target if target is not None else self.best_fit(w, h)
+        if rect is None:
+            raise NoFitError(f"no free rectangle fits ({w}, {h})")
+        if rect not in self.free:
+            raise ValueError("target rectangle is not in the free list")
+        # PlaceAndNewJointRect, "BottomLeft": pod at the rect's origin, keep
+        # both maximal splits of the chosen rectangle.
+        pod_rect = Rect(rect.x, rect.y, w, h)
+        splits = []
+        if rect.w - w > EPS:
+            splits.append(Rect(rect.x + w, rect.y, rect.w - w, rect.h))
+        if rect.h - h > EPS:
+            splits.append(Rect(rect.x, rect.y + h, rect.w, rect.h - h))
+        updated = [r for r in self.free if r is not rect] + splits
+        # Intersection update: subdivide every free rect overlapping the pod.
+        subdivided: list[Rect] = []
+        for free_rect in updated:
+            if free_rect.intersects(pod_rect):
+                subdivided.extend(subtract(free_rect, pod_rect))
+            else:
+                subdivided.append(free_rect)
+        self.free = prune_contained(subdivided)
+        self.placed[pod_id] = pod_rect
+        return pod_rect
+
+    def remove(self, pod_id: str) -> Rect:
+        """Release a pod's rectangle (keep-restructure policy)."""
+        rect = self.placed.pop(pod_id, None)
+        if rect is None:
+            raise KeyError(f"pod {pod_id} is not placed here")
+        if not self.placed:
+            # Pruning never merges adjacent fragments, so an empty GPU would
+            # otherwise stay fragmented forever; re-initialise it outright.
+            self.free = [Rect(0.0, 0.0, self.width, self.height)]
+            return rect
+        self.free.append(rect)
+        self.free = prune_contained(self.free)
+        if len(self.free) > self.restructure_threshold:
+            self.restructure()
+        return rect
+
+    def restructure(self) -> None:
+        """Rebuild the free list from scratch around the placed pods."""
+        self.restructures += 1
+        free = [Rect(0.0, 0.0, self.width, self.height)]
+        for pod_rect in self.placed.values():
+            next_free: list[Rect] = []
+            for rect in free:
+                if rect.intersects(pod_rect):
+                    next_free.extend(subtract(rect, pod_rect))
+                else:
+                    next_free.append(rect)
+            free = prune_contained(next_free)
+        self.free = free
+
+
+class MaximalRectanglesScheduler:
+    """Cluster-level node selection over per-GPU rectangle lists."""
+
+    def __init__(self, node_names: _t.Sequence[str], restructure_threshold: int = 24):
+        if not node_names:
+            raise ValueError("need at least one node")
+        self.gpus: dict[str, GPURectangleList] = {
+            name: GPURectangleList(restructure_threshold=restructure_threshold)
+            for name in node_names
+        }
+        self._bindings: dict[str, str] = {}  # pod -> node
+
+    # -- Algorithm 2 ------------------------------------------------------------
+    def select_node(
+        self,
+        w: float,
+        h: float,
+        allowed: _t.Callable[[str], bool] | None = None,
+    ) -> tuple[str, Rect] | None:
+        """Global best matching: the (node, rect) minimising the area gap.
+
+        ``allowed`` filters nodes by out-of-band constraints (e.g. GPU
+        memory).  Returns None when no rectangle fits anywhere — the paper's
+        "a new GPU required".
+        """
+        best: tuple[str, Rect] | None = None
+        best_key: tuple[float, float, str] | None = None
+        for name, gpu in self.gpus.items():
+            if allowed is not None and not allowed(name):
+                continue
+            rect = gpu.best_fit(w, h)
+            if rect is None:
+                continue
+            key = (rect.area - w * h, rect.x, name)
+            if best_key is None or key < best_key:
+                best, best_key = (name, rect), key
+        return best
+
+    def bind(
+        self,
+        pod_id: str,
+        w: float,
+        h: float,
+        allowed: _t.Callable[[str], bool] | None = None,
+    ) -> str:
+        """Select a node and place the pod; returns the node name."""
+        if pod_id in self._bindings:
+            raise ValueError(f"pod {pod_id} already bound")
+        choice = self.select_node(w, h, allowed)
+        if choice is None:
+            raise NoFitError(f"no GPU can fit pod rectangle ({w}, {h})")
+        name, rect = choice
+        self.gpus[name].place(pod_id, w, h, target=rect)
+        self._bindings[pod_id] = name
+        return name
+
+    def unbind(self, pod_id: str) -> str:
+        """Release a pod's rectangle; returns the node it was on."""
+        name = self._bindings.pop(pod_id, None)
+        if name is None:
+            raise KeyError(f"pod {pod_id} is not bound")
+        self.gpus[name].remove(pod_id)
+        return name
+
+    def node_of(self, pod_id: str) -> str | None:
+        return self._bindings.get(pod_id)
+
+    def gpus_in_use(self) -> int:
+        return sum(1 for gpu in self.gpus.values() if gpu.placed)
+
+    def utilized_area_by_node(self) -> dict[str, float]:
+        """Fraction of each GPU's 2D resource currently allocated."""
+        return {
+            name: gpu.used_area() / (gpu.width * gpu.height)
+            for name, gpu in self.gpus.items()
+        }

@@ -1,0 +1,137 @@
+"""Placement baselines for the ablation study (DESIGN.md A1).
+
+* :class:`QuotaPackingScheduler` — what a time-sharing-only system
+  (KubeShare-like) can do: pack pods by Σ quota ≤ 100% per GPU, first-fit;
+  the spatial dimension does not exist for it (every pod gets all SMs).
+* :class:`FirstFitRectScheduler` — 2D placement that takes the *first*
+  fitting free rectangle on the *first* node instead of the global
+  best-area match (isolates the benefit of MRA's best matching).
+* :class:`GuillotineRectangleList` — disjoint guillotine splits without the
+  maximal-rectangle overlap or intersection update (isolates the benefit of
+  keeping maximal rectangles).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.scheduler.mra import GPU_H, GPU_W, NoFitError
+from repro.scheduler.rectangles import EPS, Rect
+
+
+class QuotaPackingScheduler:
+    """1D (time-quota only) first-fit packing across GPUs."""
+
+    def __init__(self, node_names: _t.Sequence[str], capacity: float = 1.0):
+        if not node_names:
+            raise ValueError("need at least one node")
+        self.capacity = capacity
+        self.load: dict[str, float] = {name: 0.0 for name in node_names}
+        self._bindings: dict[str, tuple[str, float]] = {}
+
+    def bind(self, pod_id: str, quota: float) -> str:
+        """Place by quota; returns the node name (first fit)."""
+        if pod_id in self._bindings:
+            raise ValueError(f"pod {pod_id} already bound")
+        if not 0 < quota <= self.capacity:
+            raise ValueError(f"quota {quota} outside (0, {self.capacity}]")
+        for name, used in self.load.items():
+            if used + quota <= self.capacity + EPS:
+                self.load[name] = used + quota
+                self._bindings[pod_id] = (name, quota)
+                return name
+        raise NoFitError(f"no GPU has {quota:.2f} quota available")
+
+    def unbind(self, pod_id: str) -> str:
+        name, quota = self._bindings.pop(pod_id)
+        self.load[name] -= quota
+        return name
+
+    def gpus_in_use(self) -> int:
+        return sum(1 for used in self.load.values() if used > EPS)
+
+
+class GuillotineRectangleList:
+    """Disjoint-split 2D packing on one GPU (no maximal rectangles).
+
+    On placement the chosen free rectangle is cut into two disjoint pieces
+    along the axis with the shorter leftover; removal merges nothing.  Same
+    interface subset as :class:`~repro.scheduler.mra.GPURectangleList` so the
+    ablation bench can swap them.
+    """
+
+    def __init__(self, width: float = GPU_W, height: float = GPU_H):
+        self.width = width
+        self.height = height
+        self.free: list[Rect] = [Rect(0.0, 0.0, width, height)]
+        self.placed: dict[str, Rect] = {}
+
+    def best_fit(self, w: float, h: float) -> Rect | None:
+        fitting = [r for r in self.free if r.fits(w, h)]
+        if not fitting:
+            return None
+        return min(fitting, key=lambda r: (r.area - w * h, r.x, r.y))
+
+    def can_fit(self, w: float, h: float) -> bool:
+        return self.best_fit(w, h) is not None
+
+    def place(self, pod_id: str, w: float, h: float) -> Rect:
+        if pod_id in self.placed:
+            raise ValueError(f"pod {pod_id} already placed")
+        rect = self.best_fit(w, h)
+        if rect is None:
+            raise NoFitError(f"no free rectangle fits ({w}, {h})")
+        pod_rect = Rect(rect.x, rect.y, w, h)
+        self.free.remove(rect)
+        # Shorter-leftover-axis split: keeps pieces square-ish but disjoint.
+        leftover_w = rect.w - w
+        leftover_h = rect.h - h
+        if leftover_w < leftover_h:
+            if leftover_w > EPS:
+                self.free.append(Rect(rect.x + w, rect.y, leftover_w, h))
+            if leftover_h > EPS:
+                self.free.append(Rect(rect.x, rect.y + h, rect.w, leftover_h))
+        else:
+            if leftover_h > EPS:
+                self.free.append(Rect(rect.x, rect.y + h, w, leftover_h))
+            if leftover_w > EPS:
+                self.free.append(Rect(rect.x + w, rect.y, leftover_w, rect.h))
+        self.placed[pod_id] = pod_rect
+        return pod_rect
+
+    def remove(self, pod_id: str) -> Rect:
+        rect = self.placed.pop(pod_id)
+        self.free.append(rect)
+        return rect
+
+    def used_area(self) -> float:
+        return sum(r.area for r in self.placed.values())
+
+
+class FirstFitRectScheduler:
+    """2D placement: first node whose list has any fitting rectangle."""
+
+    def __init__(self, node_names: _t.Sequence[str]):
+        from repro.scheduler.mra import GPURectangleList  # same geometry
+
+        self.gpus: dict[str, GPURectangleList] = {
+            name: GPURectangleList() for name in node_names
+        }
+        self._bindings: dict[str, str] = {}
+
+    def bind(self, pod_id: str, w: float, h: float) -> str:
+        for name, gpu in self.gpus.items():
+            rect = next((r for r in gpu.free if r.fits(w, h)), None)
+            if rect is not None:
+                gpu.place(pod_id, w, h, target=rect)
+                self._bindings[pod_id] = name
+                return name
+        raise NoFitError(f"no GPU can fit pod rectangle ({w}, {h})")
+
+    def unbind(self, pod_id: str) -> str:
+        name = self._bindings.pop(pod_id)
+        self.gpus[name].remove(pod_id)
+        return name
+
+    def gpus_in_use(self) -> int:
+        return sum(1 for gpu in self.gpus.values() if gpu.placed)

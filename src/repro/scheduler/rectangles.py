@@ -1,0 +1,119 @@
+"""Resource-rectangle geometry (paper §3.4.2, Fig. 6).
+
+A GPU's 2D resource is a ``W × H = 100 quota × 100 SMs`` rectangle; pods are
+``(w=quota·100, h=SM%)`` rectangles.  These helpers implement the geometric
+primitives of the Maximal Rectangles Algorithm:
+
+* :func:`subtract` — the up-to-four *maximal* complements of a free rectangle
+  with respect to a placed one (the ``Subdivide`` operation);
+* :func:`prune_contained` — drop free rectangles nested inside others
+  ("smaller resource rectangles inside larger rectangles are merged").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Geometric tolerance: resource percentages are well above this scale.
+EPS = 1e-9
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle; x is the quota axis, y the SM axis."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"negative extent: {self}")
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w
+
+    @property
+    def top(self) -> float:
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    def contains(self, other: "Rect") -> bool:
+        """True if ``other`` lies fully inside this rectangle."""
+        return (
+            other.x >= self.x - EPS
+            and other.y >= self.y - EPS
+            and other.right <= self.right + EPS
+            and other.top <= self.top + EPS
+        )
+
+    def contains_point(self, px: float, py: float) -> bool:
+        return self.x - EPS <= px <= self.right + EPS and self.y - EPS <= py <= self.top + EPS
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the rectangles overlap with positive area."""
+        return (
+            self.x < other.right - EPS
+            and other.x < self.right - EPS
+            and self.y < other.top - EPS
+            and other.y < self.top - EPS
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or None when disjoint (or edge-touching)."""
+        if not self.intersects(other):
+            return None
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        right = min(self.right, other.right)
+        top = min(self.top, other.top)
+        return Rect(x, y, right - x, top - y)
+
+    def fits(self, w: float, h: float) -> bool:
+        """Can a (w, h) pod rectangle be placed inside?"""
+        return self.w >= w - EPS and self.h >= h - EPS
+
+
+def subtract(free: Rect, placed: Rect) -> list[Rect]:
+    """Maximal complements of ``free`` after removing ``placed``'s area.
+
+    Returns up to four overlapping rectangles — each maximal in one direction
+    (left/right of, below/above the intersection).  Returns ``[free]``
+    unchanged when there is no overlap.
+    """
+    overlap = free.intersection(placed)
+    if overlap is None:
+        return [free]
+    pieces: list[Rect] = []
+    if overlap.x - free.x > EPS:  # left sliver, full height
+        pieces.append(Rect(free.x, free.y, overlap.x - free.x, free.h))
+    if free.right - overlap.right > EPS:  # right sliver, full height
+        pieces.append(Rect(overlap.right, free.y, free.right - overlap.right, free.h))
+    if overlap.y - free.y > EPS:  # bottom sliver, full width
+        pieces.append(Rect(free.x, free.y, free.w, overlap.y - free.y))
+    if free.top - overlap.top > EPS:  # top sliver, full width
+        pieces.append(Rect(free.x, overlap.top, free.w, free.top - overlap.top))
+    return pieces
+
+
+def prune_contained(rects: list[Rect]) -> list[Rect]:
+    """Remove rectangles contained in another (keeps the first of duplicates)."""
+    kept: list[Rect] = []
+    # Sort by descending area so containers precede their contents.
+    for rect in sorted(rects, key=lambda r: -r.area):
+        if rect.area <= EPS:
+            continue
+        if any(other.contains(rect) for other in kept):
+            continue
+        kept.append(rect)
+    return kept
+
+
+def covered(rects: list[Rect], px: float, py: float) -> bool:
+    """Is the point covered by any rectangle? (test helper for coverage)."""
+    return any(r.contains_point(px, py) for r in rects)

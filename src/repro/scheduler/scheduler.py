@@ -1,0 +1,238 @@
+"""The FaST-Scheduler control loop (paper §3.4).
+
+Every ``interval`` seconds, for each function:
+
+1. read the gateway's predicted request load ``R_j`` (× a small SLO-headroom
+   factor);
+2. compute the processing gap ``ΔRPS_j = R_j − Σ T_{j,i}`` over running and
+   starting pods (throughputs from the profile database);
+3. run the Heuristic Scaling Algorithm;
+4. apply the plan: scale-ups are placed by the Maximal Rectangles Algorithm
+   (w = quota·100, h = SM partition) subject to node GPU-memory feasibility,
+   then handed to the FaSTPod controller; scale-downs drain their pods and
+   release their rectangles.
+
+A short scale-down cooldown after any scale-up prevents flapping on noisy
+predictions (the paper leaves this operational detail unspecified).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.k8s.fastpod import FaSTPodController
+from repro.profiler.database import ProfileDatabase
+from repro.scheduler.autoscale import (
+    HeuristicScaler,
+    RunningPod,
+    ScaleDownAction,
+    ScaleUpAction,
+)
+from repro.scheduler.mra import MaximalRectanglesScheduler, NoFitError
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.k8s.cluster import Cluster
+    from repro.faas.gateway import Gateway
+    from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass(slots=True)
+class SchedulerEvent:
+    """One applied scaling decision (for experiment timelines)."""
+
+    time: float
+    function: str
+    action: str  # "up" | "down" | "nofit"
+    sm_partition: float
+    quota: float
+    node: str | None
+
+
+class FaSTScheduler:
+    """Auto-scaling + node-selection control loop."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        cluster: "Cluster",
+        gateway: "Gateway",
+        database: ProfileDatabase,
+        controllers: _t.Mapping[str, FaSTPodController],
+        interval: float = 2.0,
+        headroom: float = 1.10,
+        scale_down_cooldown: float = 6.0,
+        restructure_threshold: int = 24,
+        min_replicas: int = 1,
+        latency_headroom: float = 0.6,
+        down_hysteresis: float = 0.10,
+        max_down_per_tick: int = 1,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1 (it is an SLO safety factor)")
+        if min_replicas < 0:
+            raise ValueError("min_replicas must be >= 0")
+        self.engine = engine
+        self.cluster = cluster
+        self.gateway = gateway
+        self.database = database
+        self.controllers = dict(controllers)
+        self.interval = interval
+        self.headroom = headroom
+        self.scale_down_cooldown = scale_down_cooldown
+        self.min_replicas = min_replicas
+        self.down_hysteresis = down_hysteresis
+        self.max_down_per_tick = max_down_per_tick
+        slo_map = {name: c.function.slo_ms for name, c in self.controllers.items()}
+        self.scaler = HeuristicScaler(database, slo_ms=slo_map, latency_headroom=latency_headroom)
+        self.placement = MaximalRectanglesScheduler(
+            [node.name for node in cluster.nodes],
+            restructure_threshold=restructure_threshold,
+        )
+        self.events: list[SchedulerEvent] = []
+        self.replica_series: list[tuple[float, dict[str, int]]] = []
+        self._last_scale_up: dict[str, float] = {}
+        self._handle = None
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("scheduler already started")
+        self._running = True
+        self._handle = self.engine.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+
+    # -- helpers the platform uses for manual placement too ------------------------
+    def place_pod(
+        self,
+        controller: FaSTPodController,
+        sm_partition: float,
+        quota_request: float,
+        quota_limit: float,
+    ):
+        """MRA-place and start one replica; returns it (or raises NoFitError)."""
+        width = quota_limit * 100.0
+        probe = self._memory_probe(controller)
+        choice = self.placement.select_node(width, sm_partition, allowed=probe)
+        if choice is None:
+            raise NoFitError(
+                f"{controller.function.name}: no GPU fits "
+                f"(q={quota_limit}, s={sm_partition})"
+            )
+        node_name, rect = choice
+        node = self.cluster.node(node_name)
+        replica = controller.scale_up(node, sm_partition, quota_request, quota_limit)
+        self.placement.gpus[node_name].place(replica.pod.pod_id, width, sm_partition, target=rect)
+        self.placement._bindings[replica.pod.pod_id] = node_name
+        return replica
+
+    def _memory_probe(self, controller: FaSTPodController):
+        """Feasibility filter: does the node have GPU memory for one more pod?"""
+        function = controller.function
+        mem = function.pod_gpu_mem_mb()
+
+        def allowed(node_name: str) -> bool:
+            node = self.cluster.node(node_name)
+            extra = 0.0
+            if function.use_model_sharing:
+                if function.model.name not in node.model_storage.stored_models():
+                    extra = function.model.memory.server_mb
+            return node.device.memory.can_allocate(mem + extra)
+
+        return allowed
+
+    # -- the control loop -----------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.engine.now
+        delta_rps: dict[str, float] = {}
+        running: dict[str, list[RunningPod]] = {}
+        for name, controller in self.controllers.items():
+            predicted = self.gateway.predicted_rps(name) * self.headroom
+            pods = [
+                RunningPod(
+                    pod_id=pod_id,
+                    sm_partition=sm,
+                    quota=q_limit,
+                    throughput=self._throughput_of(name, sm, q_limit),
+                )
+                for pod_id, sm, _q_req, q_limit in controller.running_configs()
+            ]
+            running[name] = pods
+            capacity = sum(p.throughput for p in pods)
+            delta = predicted - capacity
+            if delta < 0 and now - self._last_scale_up.get(name, -1e9) < self.scale_down_cooldown:
+                delta = 0.0  # cooldown: suppress scale-down right after scale-up
+            if delta < 0 and len(pods) <= self.min_replicas:
+                delta = 0.0  # keep at least min_replicas warm instances
+            if delta < 0 and -delta <= self.down_hysteresis * max(capacity, 1e-9):
+                delta = 0.0  # hysteresis: ignore marginal surpluses (noise)
+            delta_rps[name] = delta
+
+        # Scale down gradually: draining several pods at once dumps their
+        # queues onto the survivors and spikes the tail latency.
+        downs_allowed = {
+            name: min(self.max_down_per_tick, max(0, len(pods) - self.min_replicas))
+            for name, pods in running.items()
+        }
+        for action in self.scaler.plan(delta_rps, running):
+            if isinstance(action, ScaleUpAction):
+                self._apply_up(action)
+            elif isinstance(action, ScaleDownAction):
+                if downs_allowed.get(action.function, 0) <= 0:
+                    continue
+                downs_allowed[action.function] -= 1
+                self._apply_down(action)
+
+        self.replica_series.append(
+            (now, {name: c.replica_count for name, c in self.controllers.items()})
+        )
+        if self._running:
+            self._handle = self.engine.schedule(self.interval, self._tick)
+
+    def _apply_up(self, action: ScaleUpAction) -> None:
+        controller = self.controllers[action.function]
+        try:
+            # The scaler plans with Q as both request and limit; deploying at
+            # [Q, Q] matches the profiling convention the throughputs assume.
+            replica = self.place_pod(controller, action.sm_partition, action.quota, action.quota)
+        except NoFitError:
+            self.events.append(
+                SchedulerEvent(self.engine.now, action.function, "nofit",
+                               action.sm_partition, action.quota, None)
+            )
+            return
+        self._last_scale_up[action.function] = self.engine.now
+        self.events.append(
+            SchedulerEvent(self.engine.now, action.function, "up",
+                           action.sm_partition, action.quota,
+                           replica.pod.node_name),
+        )
+
+    def _apply_down(self, action: ScaleDownAction) -> None:
+        controller = self.controllers[action.function]
+        if action.pod_id not in controller.replicas:
+            return  # raced with an earlier removal
+        node = self.placement.node_of(action.pod_id)
+        controller.scale_down(action.pod_id, drain=True)
+        try:
+            self.placement.unbind(action.pod_id)
+        except KeyError:
+            pass
+        self.events.append(
+            SchedulerEvent(self.engine.now, action.function, "down", 0.0, 0.0, node)
+        )
+
+    def _throughput_of(self, function: str, sm: float, quota: float) -> float:
+        point = self.database.get(function, sm, quota)
+        if point is not None:
+            return point.throughput
+        # Pods deployed outside the profiled grid fall back to the analytic rate.
+        model = self.controllers[function].function.model
+        return model.expected_rate(sm, quota)

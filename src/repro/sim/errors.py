@@ -1,0 +1,27 @@
+"""Exception types used by the simulation core."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulation-core errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when a callback or timeout is scheduled before the current time."""
+
+
+class EventAlreadyTriggeredError(SimulationError):
+    """Raised when ``succeed``/``fail`` is called on an already-settled event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    The ``cause`` attribute carries an arbitrary user payload describing why
+    the process was interrupted (e.g. pod eviction during scale-down).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause

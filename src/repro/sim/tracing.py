@@ -1,0 +1,51 @@
+"""Lightweight structured trace log for debugging simulations."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: (time, component, event kind, payload)."""
+
+    time: float
+    component: str
+    kind: str
+    payload: _t.Mapping[str, object]
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[{self.time:12.6f}] {self.component:<24} {self.kind:<20} {fields}"
+
+
+class TraceLog:
+    """Append-only trace buffer; disabled by default (zero overhead when off)."""
+
+    def __init__(self, enabled: bool = False, max_records: int = 1_000_000):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+
+    def emit(self, time: float, component: str, kind: str, **payload: object) -> None:
+        if not self.enabled or len(self.records) >= self.max_records:
+            return
+        self.records.append(TraceRecord(time, component, kind, payload))
+
+    def filter(self, component: str | None = None, kind: str | None = None) -> list[TraceRecord]:
+        """Records matching the given component and/or kind prefixes."""
+        out = []
+        for record in self.records:
+            if component is not None and not record.component.startswith(component):
+                continue
+            if kind is not None and not record.kind.startswith(kind):
+                continue
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GPUDevice, gpu_spec
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(seed=1234)
+
+
+@pytest.fixture
+def v100(engine: Engine) -> GPUDevice:
+    return GPUDevice(engine, gpu_spec("V100"), name="gpu0")

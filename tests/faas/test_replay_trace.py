@@ -1,0 +1,54 @@
+"""Unit tests for the ReplayTrace workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faas import ReplayTrace
+
+
+def test_replays_exact_times():
+    trace = ReplayTrace([0.5, 1.0, 1.5, 4.0])
+    times = list(trace.arrival_times(np.random.default_rng(0)))
+    assert times == [0.5, 1.0, 1.5, 4.0]
+    assert trace.duration == 4.0
+
+
+def test_rng_does_not_matter():
+    trace = ReplayTrace([1, 2, 3])
+    a = list(trace.arrival_times(np.random.default_rng(1)))
+    b = list(trace.arrival_times(np.random.default_rng(999)))
+    assert a == b
+
+
+def test_empirical_rate():
+    trace = ReplayTrace([1.0, 1.1, 1.2, 1.3, 5.0], window=1.0)
+    assert trace.rps_at(1.15) == pytest.approx(4.0)
+    assert trace.rps_at(3.0) == 0.0
+    assert trace.rps_at(5.0) == pytest.approx(1.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReplayTrace([])
+    with pytest.raises(ValueError):
+        ReplayTrace([2.0, 1.0])
+    with pytest.raises(ValueError):
+        ReplayTrace([-1.0, 1.0])
+    with pytest.raises(ValueError):
+        ReplayTrace([1.0], window=0)
+
+
+def test_drives_platform_end_to_end():
+    from repro import FaSTGShare
+
+    platform = FaSTGShare.build(nodes=1, sharing="fast", seed=3)
+    platform.register_function("fn", model="resnet50")
+    platform.deploy("fn", configs=[(24, 1.0)])
+    times = list(np.cumsum(np.full(40, 0.1)))
+    report = platform.run_workload("fn", workload=ReplayTrace(times))
+    assert report.submitted == 40
+    # The final arrival lands exactly at the horizon; it may still be in
+    # flight when the measurement window closes.
+    assert report.completed >= 39

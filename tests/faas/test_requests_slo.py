@@ -1,0 +1,88 @@
+"""Unit tests for request logs and SLO analytics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faas import Request, RequestLog, latency_percentile, violation_ratio, violation_series
+
+
+def finished(function="f", arrival=0.0, start=None, end=1.0) -> Request:
+    request = Request(function=function, arrival=arrival)
+    request.start = arrival if start is None else start
+    request.end = end
+    return request
+
+
+def test_latency_and_queue_wait():
+    request = finished(arrival=1.0, start=1.5, end=2.0)
+    assert request.latency == pytest.approx(1.0)
+    assert request.queue_wait == pytest.approx(0.5)
+
+
+def test_unfinished_request_raises():
+    request = Request(function="f", arrival=0.0)
+    with pytest.raises(ValueError):
+        _ = request.latency
+    with pytest.raises(ValueError):
+        _ = request.queue_wait
+
+
+def test_log_throughput():
+    log = RequestLog()
+    for i in range(30):
+        log.note_completed(finished(end=float(i)))
+    assert log.throughput(10.0) == 3.0
+    with pytest.raises(ValueError):
+        log.throughput(0)
+
+
+def test_percentiles():
+    log = RequestLog()
+    for latency_s in np.linspace(0.01, 1.0, 100):
+        log.note_completed(finished(arrival=0.0, end=latency_s))
+    assert log.latency_percentile_ms(50) == pytest.approx(505, rel=0.02)
+    assert log.latency_percentile_ms(95) == pytest.approx(955, rel=0.02)
+
+
+def test_empty_log_percentile_is_nan():
+    assert np.isnan(RequestLog().latency_percentile_ms(95))
+
+
+def test_window_and_function_filters():
+    log = RequestLog()
+    log.note_completed(finished(function="a", end=1.0))
+    log.note_completed(finished(function="b", end=2.0))
+    log.note_completed(finished(function="a", end=5.0))
+    assert len(log.in_window(0, 3)) == 2
+    assert len(log.for_function("a")) == 2
+    assert len(log.in_window(0, 3).for_function("b")) == 1
+
+
+def test_completions_per_second_series():
+    log = RequestLog()
+    for end in (0.5, 0.6, 1.5, 2.5, 2.6, 2.7):
+        log.note_completed(finished(end=end))
+    times, rates = log.completions_per_second(horizon=3.0, bin_s=1.0)
+    assert list(rates) == [2, 1, 3]
+
+
+def test_violation_ratio():
+    log = RequestLog()
+    for latency_s in (0.05, 0.06, 0.07, 0.2):
+        log.note_completed(finished(arrival=0.0, end=latency_s))
+    assert violation_ratio(log, slo_ms=100) == pytest.approx(0.25)
+    assert violation_ratio(RequestLog(), slo_ms=100) == 0.0
+    assert latency_percentile(log, 50) == pytest.approx(65, rel=0.05)
+
+
+def test_violation_series_bins():
+    log = RequestLog()
+    log.note_completed(finished(arrival=0.0, end=0.5))   # 500 ms, bin 0
+    log.note_completed(finished(arrival=0.45, end=0.5))  # 50 ms, bin 0
+    log.note_completed(finished(arrival=1.0, end=1.2))   # 200 ms, bin 1
+    times, ratios = violation_series(log, slo_ms=100, horizon=3.0, bin_s=1.0)
+    assert ratios[0] == pytest.approx(0.5)
+    assert ratios[1] == pytest.approx(1.0)
+    assert ratios[2] == 0.0

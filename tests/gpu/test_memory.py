@@ -1,0 +1,75 @@
+"""Unit tests for the GPU memory ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GpuOutOfMemoryError, MemoryLedger
+
+
+def test_allocate_and_free_roundtrip():
+    ledger = MemoryLedger(1000)
+    ledger.allocate("pod-a", 400)
+    assert ledger.used_mb == 400
+    assert ledger.free_mb == 600
+    assert ledger.owner_usage_mb("pod-a") == 400
+    ledger.free("pod-a", 400)
+    assert ledger.used_mb == 0
+    assert ledger.owners() == []
+
+
+def test_oom_raises_and_charges_nothing():
+    ledger = MemoryLedger(1000)
+    ledger.allocate("a", 900)
+    with pytest.raises(GpuOutOfMemoryError) as excinfo:
+        ledger.allocate("b", 200)
+    assert excinfo.value.requested_mb == 200
+    assert ledger.used_mb == 900
+    assert ledger.owner_usage_mb("b") == 0
+
+
+def test_can_allocate_predicts_oom():
+    ledger = MemoryLedger(100)
+    assert ledger.can_allocate(100)
+    ledger.allocate("a", 60)
+    assert not ledger.can_allocate(41)
+    assert ledger.can_allocate(40)
+
+
+def test_overfree_raises():
+    ledger = MemoryLedger(100)
+    ledger.allocate("a", 10)
+    with pytest.raises(ValueError):
+        ledger.free("a", 20)
+
+
+def test_negative_amounts_rejected():
+    ledger = MemoryLedger(100)
+    with pytest.raises(ValueError):
+        ledger.allocate("a", -1)
+    with pytest.raises(ValueError):
+        ledger.free("a", -1)
+
+
+def test_release_owner_frees_everything():
+    ledger = MemoryLedger(1000)
+    ledger.allocate("a", 100)
+    ledger.allocate("a", 150)
+    ledger.allocate("b", 200)
+    released = ledger.release_owner("a")
+    assert released == 250
+    assert ledger.used_mb == 200
+    assert ledger.release_owner("missing") == 0
+
+
+def test_peak_tracking():
+    ledger = MemoryLedger(1000)
+    ledger.allocate("a", 700)
+    ledger.free("a", 500)
+    ledger.allocate("b", 100)
+    assert ledger.peak_mb == 700
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        MemoryLedger(0)

@@ -1,0 +1,85 @@
+"""Unit tests for metric integration and sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GPUDevice, KernelBurst, MetricsSampler
+from repro.sim import Engine
+
+
+def _burst(duration: float, demand: float = 100, activity: float = 0.05) -> KernelBurst:
+    return KernelBurst(duration=duration, sm_demand=demand, sm_activity=activity)
+
+
+def test_idle_device_has_zero_metrics(engine: Engine, v100: GPUDevice):
+    engine.run(until=5.0)
+    v100.sync_metrics()
+    assert v100.metrics.utilization(engine.now) == 0.0
+    assert v100.metrics.sm_occupancy(engine.now) == 0.0
+
+
+def test_utilization_fraction(engine: Engine, v100: GPUDevice):
+    v100.submit(_burst(3.0))
+    engine.run(until=6.0)
+    v100.sync_metrics()
+    assert v100.metrics.utilization(engine.now) == pytest.approx(0.5)
+
+
+def test_occupancy_weighted_by_activity(engine: Engine, v100: GPUDevice):
+    v100.submit(_burst(2.0, demand=50, activity=0.10))
+    engine.run(until=4.0)
+    v100.sync_metrics()
+    assert v100.metrics.sm_occupancy(engine.now) == pytest.approx(0.05)
+
+
+def test_mark_and_since_mark(engine: Engine, v100: GPUDevice):
+    v100.submit(_burst(1.0))
+    engine.run(until=1.0)
+    v100.sync_metrics()
+    v100.metrics.mark("window", engine.now)
+    v100.submit(_burst(1.0))
+    engine.run(until=3.0)
+    v100.sync_metrics()
+    util, _ = v100.metrics.since_mark("window", engine.now)
+    assert util == pytest.approx(0.5)
+
+
+def test_reset_restarts_window(engine: Engine, v100: GPUDevice):
+    v100.submit(_burst(2.0))
+    engine.run(until=2.0)
+    v100.sync_metrics()
+    v100.metrics.reset(engine.now)
+    engine.run(until=4.0)
+    v100.sync_metrics()
+    assert v100.metrics.utilization(engine.now) == 0.0
+
+
+def test_sampler_records_interval_means(engine: Engine, v100: GPUDevice):
+    sampler = MetricsSampler(engine, v100, interval=1.0)
+    v100.submit(_burst(0.5))
+    engine.run(until=3.0)
+    assert len(sampler.samples) == 3
+    assert sampler.samples[0].utilization == pytest.approx(0.5)
+    assert sampler.samples[1].utilization == pytest.approx(0.0)
+    times, utils, occs = sampler.series()
+    assert times == [1.0, 2.0, 3.0]
+    assert utils[0] == pytest.approx(50.0)
+
+
+def test_sampler_stop(engine: Engine, v100: GPUDevice):
+    sampler = MetricsSampler(engine, v100, interval=1.0)
+    engine.run(until=2.0)
+    sampler.stop()
+    engine.run(until=5.0)
+    assert len(sampler.samples) == 2
+
+
+def test_sampler_invalid_interval(engine: Engine, v100: GPUDevice):
+    with pytest.raises(ValueError):
+        MetricsSampler(engine, v100, interval=0)
+
+
+def test_negative_interval_integration_rejected(v100: GPUDevice):
+    with pytest.raises(ValueError):
+        v100.metrics.integrate(2.0, 1.0, 1, 0.1)

@@ -1,0 +1,97 @@
+"""Unit tests for the MIG partitioner (paper §2.3 compatibility claim)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import GPUSpec
+from repro.gpu.mig import (
+    A100_MIG_PROFILES,
+    MIGConfigError,
+    MIGPartitioner,
+    TOTAL_COMPUTE_SLICES,
+)
+from repro.sim import Engine
+
+#: A sliceable Ampere-like spec (105 = 7 x 15 SMs).
+AMPERE = GPUSpec(name="A100-sim", sm_count=105, tensor_cores=420, memory_mb=40960)
+
+
+@pytest.fixture
+def partitioner(engine: Engine) -> MIGPartitioner:
+    return MIGPartitioner(engine, AMPERE)
+
+
+def test_seven_predefined_profiles():
+    # The paper: "limited to only seven pre-defined resource configurations".
+    assert len(A100_MIG_PROFILES) == 7
+
+
+def test_create_instance_scales_device(partitioner: MIGPartitioner):
+    instance = partitioner.create_instance("3g.20gb")
+    assert instance.device.spec.sm_count == 3 * (105 // TOTAL_COMPUTE_SLICES)
+    assert instance.device.spec.memory_mb == 19968
+    assert partitioner.used_compute_slices == 3
+
+
+def test_full_carve_up(partitioner: MIGPartitioner):
+    partitioner.create_instance("3g.20gb")
+    partitioner.create_instance("2g.10gb")
+    partitioner.create_instance("1g.5gb")
+    partitioner.create_instance("1g.5gb")
+    assert partitioner.used_compute_slices == 7
+    with pytest.raises(MIGConfigError):
+        partitioner.create_instance("1g.5gb")
+
+
+def test_memory_slice_budget(partitioner: MIGPartitioner):
+    partitioner.create_instance("3g.20gb")  # 4 memory slices
+    partitioner.create_instance("1g.10gb")  # 2
+    partitioner.create_instance("1g.10gb")  # 2 -> 8 total
+    with pytest.raises(MIGConfigError):
+        partitioner.create_instance("1g.5gb")  # would need a 9th memory slice
+
+
+def test_max_instances_per_profile(partitioner: MIGPartitioner):
+    # The media-extensions profile allows a single instance.
+    with pytest.raises(MIGConfigError, match="at most"):
+        partitioner.validate(["1g.5gb+me", "1g.5gb+me"])
+
+
+def test_unknown_profile(partitioner: MIGPartitioner):
+    with pytest.raises(MIGConfigError, match="unknown"):
+        partitioner.create_instance("9g.80gb")
+
+
+def test_unsliceable_parent_rejected(engine: Engine):
+    odd = GPUSpec(name="odd", sm_count=80, tensor_cores=1, memory_mb=16384)
+    with pytest.raises(MIGConfigError):
+        MIGPartitioner(engine, odd)
+
+
+def test_mps_inside_mig_instance(engine: Engine):
+    """The paper's compatibility claim: MPS clients run per MIG instance."""
+    from repro.gpu import CudaDriver, MPSServer
+
+    partitioner = MIGPartitioner(engine, AMPERE)
+    instance = partitioner.create_instance("3g.20gb")
+    mps = MPSServer(instance.device)
+    mps.start()
+    client = mps.connect("pod", 24)
+    driver = CudaDriver(engine, instance.device)
+    ctx = driver.create_context("pod", client)
+    done = driver.launch_burst(ctx, duration=0.5, sm_activity=0.05)
+    engine.run()
+    assert done.ok
+
+
+def test_destroy_requires_idle(partitioner: MIGPartitioner, engine: Engine):
+    instance = partitioner.create_instance("1g.5gb")
+    from repro.gpu import KernelBurst
+
+    instance.device.submit(KernelBurst(duration=1.0, sm_demand=50, sm_activity=0.05))
+    with pytest.raises(MIGConfigError):
+        partitioner.destroy_instance(instance)
+    engine.run()
+    partitioner.destroy_instance(instance)
+    assert partitioner.instances == []

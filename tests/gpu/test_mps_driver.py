@@ -1,0 +1,167 @@
+"""Unit tests for the MPS server/client and the CUDA driver facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import CudaDriver, GPUDevice, MPSServer
+from repro.gpu.driver import CudaError
+from repro.gpu.mps import MPSError
+from repro.sim import Engine
+
+
+@pytest.fixture
+def driver(engine: Engine, v100: GPUDevice) -> CudaDriver:
+    return CudaDriver(engine, v100)
+
+
+@pytest.fixture
+def mps(v100: GPUDevice) -> MPSServer:
+    server = MPSServer(v100)
+    server.start()
+    return server
+
+
+# ---- MPS --------------------------------------------------------------------
+
+def test_mps_client_partition(mps: MPSServer):
+    client = mps.connect("pod-a", 12)
+    assert client.sm_demand == 12
+    client.set_active_thread_percentage(24)
+    assert client.sm_demand == 24
+
+
+def test_mps_rejects_bad_percentage(mps: MPSServer):
+    with pytest.raises(MPSError):
+        mps.connect("pod-a", 0)
+    with pytest.raises(MPSError):
+        mps.connect("pod-a", 101)
+
+
+def test_mps_requires_running_server(v100: GPUDevice):
+    server = MPSServer(v100)
+    with pytest.raises(MPSError):
+        server.connect("pod", 10)
+
+
+def test_mps_stop_requires_no_clients(mps: MPSServer):
+    client = mps.connect("pod", 10)
+    with pytest.raises(MPSError):
+        mps.stop()
+    client.disconnect()
+    mps.stop()
+    assert not mps.running
+
+
+def test_mps_oversubscription_flag(mps: MPSServer):
+    mps.connect("a", 60)
+    assert not mps.oversubscribed
+    mps.connect("b", 60)
+    assert mps.oversubscribed
+    assert mps.configured_percentage_total == 120
+
+
+def test_mps_double_start_raises(mps: MPSServer):
+    with pytest.raises(MPSError):
+        mps.start()
+
+
+# ---- driver contexts & launches ------------------------------------------------
+
+def test_context_inherits_mps_partition(driver: CudaDriver, mps: MPSServer):
+    client = mps.connect("pod-a", 24)
+    ctx = driver.create_context("pod-a", client)
+    assert ctx.sm_demand == 24
+
+
+def test_context_without_mps_gets_full_gpu(driver: CudaDriver):
+    ctx = driver.create_context("pod-a")
+    assert ctx.sm_demand == 100
+
+
+def test_launch_and_synchronize(engine: Engine, driver: CudaDriver):
+    ctx = driver.create_context("pod-a")
+    driver.launch_burst(ctx, duration=1.0, sm_activity=0.05)
+    driver.launch_burst(ctx, duration=2.0, sm_activity=0.05)
+    sync = driver.synchronize(ctx)
+    engine.run()
+    assert sync.ok
+    # Two unpartitioned bursts contend (demand 100 each), so the 3.0 s of
+    # total work serialises — matching same-stream launch semantics.
+    assert engine.now == pytest.approx(3.0)
+
+
+def test_synchronize_with_nothing_outstanding(engine: Engine, driver: CudaDriver):
+    ctx = driver.create_context("pod-a")
+    assert driver.synchronize(ctx).ok
+
+
+def test_activity_clipped_to_partition(engine: Engine, driver: CudaDriver, mps: MPSServer):
+    client = mps.connect("pod-a", 6)
+    ctx = driver.create_context("pod-a", client)
+    done = driver.launch_burst(ctx, duration=1.0, sm_activity=0.5)
+    engine.run()
+    assert done.ok  # KernelBurst validation would reject activity > partition
+
+
+# ---- driver memory & IPC ------------------------------------------------------
+
+def test_mem_alloc_charges_owner(driver: CudaDriver, v100: GPUDevice):
+    ctx = driver.create_context("pod-a")
+    ptr = driver.mem_alloc(ctx, 512)
+    assert v100.memory.owner_usage_mb("pod-a") == 512
+    driver.mem_free(ctx, ptr)
+    assert v100.memory.used_mb == 0
+
+
+def test_mem_free_foreign_pointer_raises(driver: CudaDriver):
+    ctx_a = driver.create_context("pod-a")
+    ctx_b = driver.create_context("pod-b")
+    ptr = driver.mem_alloc(ctx_a, 10)
+    with pytest.raises(CudaError):
+        driver.mem_free(ctx_b, ptr)
+
+
+def test_ipc_mapping_is_zero_copy(driver: CudaDriver, v100: GPUDevice):
+    server_ctx = driver.create_context("storage-server")
+    ptr = driver.mem_alloc(server_ctx, 1000)
+    handle = driver.ipc_get_mem_handle(ptr)
+
+    pod_ctx = driver.create_context("pod-a")
+    mapped = driver.ipc_open_mem_handle(pod_ctx, handle)
+    assert mapped.alloc_id == ptr.alloc_id
+    # No extra device memory charged: this is the model-sharing zero-copy path.
+    assert v100.memory.used_mb == 1000
+
+
+def test_ipc_keeps_memory_alive_after_owner_free(driver: CudaDriver, v100: GPUDevice):
+    server_ctx = driver.create_context("server")
+    ptr = driver.mem_alloc(server_ctx, 100)
+    handle = driver.ipc_get_mem_handle(ptr)
+    pod_ctx = driver.create_context("pod")
+    mapped = driver.ipc_open_mem_handle(pod_ctx, handle)
+
+    driver.mem_free(server_ctx, ptr)
+    assert v100.memory.used_mb == 100  # mapping still holds it
+    driver.ipc_close_mem_handle(pod_ctx, mapped)
+    assert v100.memory.used_mb == 0
+
+
+def test_stale_ipc_handle_raises(driver: CudaDriver):
+    ctx = driver.create_context("a")
+    ptr = driver.mem_alloc(ctx, 10)
+    handle = driver.ipc_get_mem_handle(ptr)
+    driver.mem_free(ctx, ptr)
+    other = driver.create_context("b")
+    with pytest.raises(CudaError):
+        driver.ipc_open_mem_handle(other, handle)
+
+
+def test_destroy_context_frees_allocations(driver: CudaDriver, v100: GPUDevice):
+    ctx = driver.create_context("pod-a")
+    driver.mem_alloc(ctx, 100)
+    driver.mem_alloc(ctx, 200)
+    driver.destroy_context(ctx)
+    assert v100.memory.used_mb == 0
+    with pytest.raises(CudaError):
+        driver.mem_alloc(ctx, 1)

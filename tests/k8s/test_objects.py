@@ -1,0 +1,68 @@
+"""Unit tests for the k8s object model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.k8s import ObjectMeta, Pod, PodPhase, PodSpec
+
+
+def make_spec(**overrides) -> PodSpec:
+    base = dict(
+        function_name="classify",
+        model_name="resnet50",
+        sm_partition=12,
+        quota_request=0.3,
+        quota_limit=0.8,
+        gpu_mem_mb=1024,
+    )
+    base.update(overrides)
+    return PodSpec(**base)
+
+
+def test_pod_spec_annotations_match_paper_format():
+    spec = make_spec()
+    annotations = spec.annotations()
+    assert annotations["faasshare/sm_partition"] == "12"
+    assert annotations["faasshare/quota_limit"] == "0.8"
+    assert annotations["faasshare/quota_request"] == "0.3"
+    assert annotations["faasshare/gpu_mem"] == str(1024 * 1024 * 1024)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"sm_partition": 0},
+        {"sm_partition": 120},
+        {"quota_request": 0.0},
+        {"quota_request": 0.9, "quota_limit": 0.8},
+        {"quota_limit": 1.2, "quota_request": 1.1},
+        {"gpu_mem_mb": 0},
+    ],
+)
+def test_pod_spec_validation(overrides):
+    with pytest.raises(ValueError):
+        make_spec(**overrides)
+
+
+def test_pod_ids_are_unique():
+    pod1 = Pod(meta=ObjectMeta(name="same"), spec=make_spec())
+    pod2 = Pod(meta=ObjectMeta(name="same"), spec=make_spec())
+    assert pod1.pod_id != pod2.pod_id
+
+
+def test_pod_lifecycle_happy_path():
+    pod = Pod(meta=ObjectMeta(name="p"), spec=make_spec())
+    for phase in (PodPhase.STARTING, PodPhase.RUNNING, PodPhase.TERMINATING, PodPhase.TERMINATED):
+        pod.transition(phase)
+    assert pod.phase is PodPhase.TERMINATED
+
+
+def test_pod_illegal_transition():
+    pod = Pod(meta=ObjectMeta(name="p"), spec=make_spec())
+    with pytest.raises(ValueError):
+        pod.transition(PodPhase.RUNNING)  # must pass through STARTING
+    pod.transition(PodPhase.STARTING)
+    pod.transition(PodPhase.RUNNING)
+    with pytest.raises(ValueError):
+        pod.transition(PodPhase.PENDING)

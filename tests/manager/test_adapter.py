@@ -1,0 +1,78 @@
+"""Unit tests for the SM Allocation Adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.manager import SM_GLOBAL_LIMIT, SMAllocationAdapter
+
+
+def test_global_limit_is_100_percent():
+    assert SM_GLOBAL_LIMIT == 100.0
+
+
+def test_acquire_release_cycle():
+    adapter = SMAllocationAdapter()
+    adapter.acquire("a", 40)
+    adapter.acquire("b", 60)
+    assert adapter.running_total == 100
+    assert adapter.headroom == 0
+    assert adapter.release("a") == 40
+    assert adapter.running_total == 60
+
+
+def test_fits_respects_limit():
+    adapter = SMAllocationAdapter()
+    adapter.acquire("a", 90)
+    assert adapter.fits(10)
+    assert not adapter.fits(11)
+
+
+def test_exact_fill_allowed():
+    adapter = SMAllocationAdapter()
+    for pod, share in [("a", 12), ("b", 12), ("c", 12), ("d", 12), ("e", 24), ("f", 24), ("g", 4)]:
+        adapter.acquire(pod, share)
+    assert adapter.running_total == pytest.approx(100)
+    assert not adapter.fits(0.5)
+
+
+def test_double_acquire_rejected():
+    adapter = SMAllocationAdapter()
+    adapter.acquire("a", 10)
+    with pytest.raises(ValueError):
+        adapter.acquire("a", 10)
+
+
+def test_over_limit_acquire_rejected():
+    adapter = SMAllocationAdapter()
+    adapter.acquire("a", 95)
+    with pytest.raises(ValueError):
+        adapter.acquire("b", 10)
+
+
+def test_release_unknown_is_zero():
+    adapter = SMAllocationAdapter()
+    assert adapter.release("ghost") == 0.0
+
+
+def test_holds():
+    adapter = SMAllocationAdapter()
+    adapter.acquire("a", 5)
+    assert adapter.holds("a")
+    adapter.release("a")
+    assert not adapter.holds("a")
+
+
+def test_invalid_limit():
+    with pytest.raises(ValueError):
+        SMAllocationAdapter(limit=0)
+
+
+def test_float_accumulation_resets_cleanly():
+    adapter = SMAllocationAdapter()
+    for i in range(10):
+        adapter.acquire(f"p{i}", 10.0)
+    for i in range(10):
+        adapter.release(f"p{i}")
+    assert adapter.running_total == 0.0
+    assert adapter.fits(100)

@@ -1,0 +1,140 @@
+"""Unit tests for the model storage server and store lib."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import CudaDriver, GPUDevice
+from repro.models import get_model
+from repro.modelshare import ModelStorageServer, ModelStoreLib
+from repro.modelshare.server import ModelShareError
+from repro.sim import Engine
+
+
+@pytest.fixture
+def server(engine: Engine, v100: GPUDevice) -> ModelStorageServer:
+    driver = CudaDriver(engine, v100)
+    return ModelStorageServer(engine, driver)
+
+
+def test_store_charges_weights_plus_context(server: ModelStorageServer, v100: GPUDevice):
+    model = get_model("resnet50")
+    record = server.store(model)
+    # Fig. 13: 98 weights + 300 context + 18 IPC = 416 MB.
+    assert record.size_mb == pytest.approx(416)
+    assert v100.memory.owner_usage_mb("model-storage") == pytest.approx(416)
+
+
+def test_store_is_idempotent(server: ModelStorageServer, v100: GPUDevice):
+    model = get_model("bert")
+    first = server.store(model)
+    second = server.store(model)
+    assert first is second
+    assert v100.memory.used_mb == pytest.approx(first.size_mb)
+
+
+def test_get_miss_triggers_store(server: ModelStorageServer):
+    model = get_model("rnnt")
+    record, hit = server.get(model)
+    assert not hit
+    record2, hit2 = server.get(model)
+    assert hit2 and record2 is record
+    assert server.get_calls == 2 and server.get_hits == 1
+
+
+def test_attach_detach_refcounting(server: ModelStorageServer):
+    model = get_model("resnet50")
+    server.store(model)
+    server.attach(model.name)
+    server.attach(model.name)
+    assert server.refcount(model.name) == 2
+    server.detach(model.name)
+    server.detach(model.name)
+    with pytest.raises(ModelShareError):
+        server.detach(model.name)
+
+
+def test_evict_requires_zero_refcount(server: ModelStorageServer, v100: GPUDevice):
+    model = get_model("resnet50")
+    server.store(model)
+    server.attach(model.name)
+    with pytest.raises(ModelShareError):
+        server.evict(model.name)
+    server.detach(model.name)
+    freed = server.evict(model.name)
+    assert freed == pytest.approx(416)
+    assert v100.memory.used_mb == 0
+    with pytest.raises(ModelShareError):
+        server.evict(model.name)
+
+
+def test_store_lib_first_load_is_slow_then_fast(engine: Engine, v100: GPUDevice):
+    driver = CudaDriver(engine, v100)
+    server = ModelStorageServer(engine, driver)
+    model = get_model("vit_huge")
+
+    ctx1 = driver.create_context("pod1")
+    ctx2 = driver.create_context("pod2")
+    lib1 = ModelStoreLib(engine, server, driver, ctx1, "pod1")
+    lib2 = ModelStoreLib(engine, server, driver, ctx2, "pod2")
+    times = {}
+
+    def loader(lib, key):
+        t0 = engine.now
+        yield from lib.load_shared(model)
+        times[key] = engine.now - t0
+
+    def sequenced():
+        yield engine.process(loader(lib1, "first"))
+        yield engine.process(loader(lib2, "second"))
+
+    engine.process(sequenced())
+    engine.run()
+    assert times["first"] == pytest.approx(model.load_time_s)
+    assert times["second"] == pytest.approx(model.shared_load_time_s)
+    assert server.refcount(model.name) == 2
+    # Zero-copy: device holds exactly one server-side copy.
+    assert v100.memory.used_mb == pytest.approx(model.memory.server_mb)
+
+
+def test_store_lib_release_detaches(engine: Engine, v100: GPUDevice):
+    driver = CudaDriver(engine, v100)
+    server = ModelStorageServer(engine, driver)
+    model = get_model("resnet50")
+    ctx = driver.create_context("pod")
+    lib = ModelStoreLib(engine, server, driver, ctx, "pod")
+
+    def loader():
+        yield from lib.load_shared(model)
+
+    engine.process(loader())
+    engine.run()
+    assert lib.mapped_models == ["resnet50"]
+    lib.release_all()
+    assert lib.mapped_models == []
+    assert server.refcount(model.name) == 0
+    # Tensors stay cached (keep-warm) until explicit eviction.
+    assert server.stored_models() == ["resnet50"]
+    lib.release("resnet50")  # double release is a no-op
+
+
+def test_second_load_same_pod_is_instant(engine: Engine, v100: GPUDevice):
+    driver = CudaDriver(engine, v100)
+    server = ModelStorageServer(engine, driver)
+    model = get_model("resnet50")
+    ctx = driver.create_context("pod")
+    lib = ModelStoreLib(engine, server, driver, ctx, "pod")
+    times = []
+
+    def loader():
+        t0 = engine.now
+        yield from lib.load_shared(model)
+        times.append(engine.now - t0)
+        t0 = engine.now
+        yield from lib.load_shared(model)
+        times.append(engine.now - t0)
+
+    engine.process(loader())
+    engine.run()
+    assert times[0] > 0 and times[1] == 0.0
+    assert server.refcount(model.name) == 1  # attached once

@@ -1,0 +1,99 @@
+"""Property-based tests of the fluid GPU execution model."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.gpu import GPUDevice, KernelBurst, gpu_spec
+from repro.sim import Engine
+
+burst_specs = st.tuples(
+    st.floats(min_value=0.001, max_value=2.0),   # duration
+    st.floats(min_value=1.0, max_value=100.0),   # sm demand
+    st.floats(min_value=0.0, max_value=2.0),     # submit delay
+)
+
+
+@given(st.lists(burst_specs, min_size=1, max_size=15))
+@settings(max_examples=60, deadline=None)
+def test_work_conservation_and_bounds(specs):
+    """Total executed work equals submitted work; metrics stay in range."""
+    engine = Engine()
+    device = GPUDevice(engine, gpu_spec("V100"))
+
+    def submit(duration: float, demand: float):
+        device.submit(
+            KernelBurst(duration=duration, sm_demand=demand,
+                        sm_activity=min(0.05, demand / 100))
+        )
+
+    for duration, demand, delay in specs:
+        engine.schedule(delay, submit, duration, demand)
+    engine.run()
+    device.sync_metrics()
+
+    total_work = sum(d for d, _, _ in specs)
+    assert device.completed_work == sum(d for d, _, _ in specs) or abs(
+        device.completed_work - total_work
+    ) < 1e-6
+    assert device.completed_bursts == len(specs)
+    assert device.active_count == 0
+
+    now = engine.now
+    util = device.metrics.utilization(now)
+    occ = device.metrics.sm_occupancy(now)
+    assert 0.0 <= util <= 1.0 + 1e-9
+    assert 0.0 <= occ <= 1.0 + 1e-9
+    # Busy time can never exceed the horizon nor be less than needed to
+    # execute the work at full speed.
+    assert device.metrics.busy_seconds <= now + 1e-9
+    assert device.metrics.busy_seconds >= max(d for d, _, _ in specs) - 1e-9
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_serialized_tenants_take_total_time(durations):
+    """All demand-100 bursts submitted together finish at Σ durations."""
+    engine = Engine()
+    device = GPUDevice(engine, gpu_spec("V100"))
+    for duration in durations:
+        device.submit(KernelBurst(duration=duration, sm_demand=100, sm_activity=0.05))
+    engine.run()
+    assert engine.now == sum(durations) or abs(engine.now - sum(durations)) < 1e-6
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=8),
+    st.floats(min_value=1.0, max_value=12.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_concurrent_partitions_take_max_time(durations, demand):
+    """Bursts whose demands fit under 100% concurrently finish at max duration."""
+    engine = Engine()
+    device = GPUDevice(engine, gpu_spec("V100"))
+    for duration in durations:
+        device.submit(
+            KernelBurst(duration=duration, sm_demand=demand,
+                        sm_activity=min(0.02, demand / 100))
+        )
+    engine.run()
+    assert abs(engine.now - max(durations)) < 1e-6
+
+
+@given(st.lists(burst_specs, min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_makespan_bracketed_by_max_and_sum(specs):
+    """Any mix finishes between max(duration) and sum(duration) + last delay."""
+    engine = Engine()
+    device = GPUDevice(engine, gpu_spec("V100"))
+
+    def submit(duration: float, demand: float):
+        device.submit(KernelBurst(duration=duration, sm_demand=demand, sm_activity=0.01))
+
+    for duration, demand, delay in specs:
+        engine.schedule(delay, submit, duration, demand)
+    engine.run()
+    lower = max(d for d, _, _ in specs)
+    upper = sum(d for d, _, _ in specs) + max(delay for _, _, delay in specs)
+    assert lower - 1e-9 <= engine.now <= upper + 1e-9

@@ -1,0 +1,129 @@
+"""Property-based tests of the MaxRects geometry (hypothesis)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.scheduler import GPURectangleList, NoFitError, Rect, prune_contained, subtract
+
+# Rectangle coordinates on the GPU's 100x100 resource space.
+coords = st.floats(min_value=0.0, max_value=90.0)
+extents = st.floats(min_value=1.0, max_value=100.0)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x = draw(coords)
+    y = draw(coords)
+    w = draw(st.floats(min_value=1.0, max_value=100.0 - x))
+    h = draw(st.floats(min_value=1.0, max_value=100.0 - y))
+    return Rect(x, y, w, h)
+
+
+@st.composite
+def pod_sizes(draw) -> tuple[float, float]:
+    return (draw(st.floats(min_value=5.0, max_value=100.0)),
+            draw(st.floats(min_value=5.0, max_value=100.0)))
+
+
+def sample_points(rect: Rect, n: int = 5):
+    """Deterministic interior sample points of a rectangle."""
+    for i in range(1, n + 1):
+        frac = i / (n + 1)
+        yield rect.x + frac * rect.w, rect.y + frac * rect.h
+
+
+@given(free=rects(), placed=rects())
+@settings(max_examples=80, deadline=None)
+def test_subtract_pieces_stay_inside_free_and_outside_placed(free: Rect, placed: Rect):
+    pieces = subtract(free, placed)
+    for piece in pieces:
+        assert free.contains(piece)
+        assert not piece.intersects(placed)
+
+
+@given(free=rects(), placed=rects())
+@settings(max_examples=80, deadline=None)
+def test_subtract_covers_all_remaining_points(free: Rect, placed: Rect):
+    pieces = subtract(free, placed)
+    for px, py in sample_points(free, 7):
+        strictly_in_placed = (
+            placed.x + 1e-9 < px < placed.right - 1e-9
+            and placed.y + 1e-9 < py < placed.top - 1e-9
+        )
+        if not strictly_in_placed:
+            assert any(p.contains_point(px, py) for p in pieces), (px, py)
+
+
+@given(st.lists(rects(), min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_prune_contained_is_containment_free_and_coverage_preserving(rect_list):
+    kept = prune_contained(rect_list)
+    for i, a in enumerate(kept):
+        for b in kept[i + 1:]:
+            assert not a.contains(b) and not b.contains(a)
+    # Every original rectangle's sample points stay covered.
+    for original in rect_list:
+        for px, py in sample_points(original, 3):
+            assert any(k.contains_point(px, py) for k in kept)
+
+
+@given(st.lists(pod_sizes(), min_size=1, max_size=20), st.data())
+@settings(max_examples=60, deadline=None)
+def test_gpu_rectangle_list_invariants_under_random_churn(sizes, data):
+    """Place/remove churn preserves all geometric invariants."""
+    gpu = GPURectangleList(restructure_threshold=8)
+    live: list[str] = []
+    for i, (w, h) in enumerate(sizes):
+        pod_id = f"pod{i}"
+        try:
+            gpu.place(pod_id, w, h)
+            live.append(pod_id)
+        except NoFitError:
+            pass
+        # Occasionally remove a random live pod.
+        if live and data.draw(st.booleans(), label=f"remove after {i}"):
+            victim = data.draw(st.sampled_from(live), label="victim")
+            gpu.remove(victim)
+            live.remove(victim)
+
+        placed = list(gpu.placed.values())
+        # 1. placements pairwise disjoint and inside the GPU.
+        bounds = Rect(0, 0, 100, 100)
+        for j, a in enumerate(placed):
+            assert bounds.contains(a)
+            for b in placed[j + 1:]:
+                assert not a.intersects(b)
+        # 2. free rectangles never overlap placements.
+        for free in gpu.free:
+            assert bounds.contains(free)
+            for a in placed:
+                assert not free.intersects(a)
+        # 3. completeness: unplaced sample points are covered by a free rect.
+        for px, py in sample_points(bounds, 6):
+            in_placed = any(
+                a.x + 1e-9 < px < a.right - 1e-9 and a.y + 1e-9 < py < a.top - 1e-9
+                for a in placed
+            )
+            if not in_placed:
+                assert any(f.contains_point(px, py) for f in gpu.free), (px, py)
+
+
+@given(st.lists(pod_sizes(), min_size=1, max_size=14))
+@settings(max_examples=40, deadline=None)
+def test_remove_then_replace_same_pod_always_fits(sizes):
+    """Keep-restructure guarantees a removed pod's shape fits again."""
+    gpu = GPURectangleList()
+    placed_ids = []
+    for i, (w, h) in enumerate(sizes):
+        try:
+            gpu.place(f"p{i}", w, h)
+            placed_ids.append((f"p{i}", w, h))
+        except NoFitError:
+            pass
+    if not placed_ids:
+        return
+    pod_id, w, h = placed_ids[len(placed_ids) // 2]
+    gpu.remove(pod_id)
+    gpu.place(pod_id + "-again", w, h)  # must not raise

@@ -1,0 +1,129 @@
+"""Unit tests for the Heuristic Scaling Algorithm (paper Alg. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiler import ProfileDatabase, ProfilePoint
+from repro.scheduler import HeuristicScaler, RunningPod, ScaleDownAction, ScaleUpAction
+
+
+@pytest.fixture
+def db() -> ProfileDatabase:
+    db = ProfileDatabase()
+    # Hand-crafted profile: (S, Q) -> T with a clear RPR winner at (12, 0.4).
+    points = [
+        (6, 0.4, 8.0),     # rpr 3.33
+        (12, 0.4, 18.0),   # rpr 3.75  <- p_eff
+        (24, 0.4, 25.0),   # rpr 2.60
+        (12, 0.2, 8.5),    # rpr 3.54
+        (50, 0.6, 45.0),   # rpr 1.50
+        (100, 1.0, 70.0),  # rpr 0.70
+    ]
+    for sm, quota, throughput in points:
+        db.insert(ProfilePoint("f", sm, quota, throughput))
+    return db
+
+
+def test_rpr_metric():
+    point = ProfilePoint("f", 12, 0.4, 18.0)
+    assert point.rpr == pytest.approx(18.0 / (12 * 0.4))
+
+
+def test_best_rpr_is_p_eff(db: ProfileDatabase):
+    assert db.best_rpr("f").sm_partition == 12
+    assert db.best_rpr("f").quota == 0.4
+
+
+def test_scale_up_bulk_plus_residual(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    # ΔRPS = 60: n = floor(60/18) = 3 pods of p_eff, residual 6 -> p_ideal is
+    # the smallest profiled config with T > 6: (6, 0.4, 8.0).
+    actions = scaler.plan({"f": 60.0}, {"f": []})
+    ups = [a for a in actions if isinstance(a, ScaleUpAction)]
+    assert len(ups) == 4
+    assert [(a.sm_partition, a.quota) for a in ups[:3]] == [(12, 0.4)] * 3
+    assert (ups[3].sm_partition, ups[3].quota) == (6, 0.4)
+
+
+def test_scale_up_exact_multiple_has_no_residual(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    actions = scaler.plan({"f": 36.0}, {"f": []})
+    assert len(actions) == 2
+    assert all((a.sm_partition, a.quota) == (12, 0.4) for a in actions)
+
+
+def test_scale_up_small_gap_only_residual_pod(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    actions = scaler.plan({"f": 5.0}, {"f": []})
+    assert len(actions) == 1
+    # Minimal sufficient: T=8 (6,0.4) beats T=8.5 and everything larger.
+    assert (actions[0].sm_partition, actions[0].quota) == (6, 0.4)
+
+
+def test_zero_gap_no_actions(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    assert scaler.plan({"f": 0.0}, {"f": []}) == []
+
+
+def test_scale_down_removes_lowest_rpr_first(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    running = [
+        RunningPod("pod-eff", 12, 0.4, 18.0),    # rpr 3.75
+        RunningPod("pod-mid", 24, 0.4, 25.0),    # rpr 2.60
+        RunningPod("pod-fat", 100, 1.0, 70.0),   # rpr 0.70
+    ]
+    actions = scaler.plan({"f": -80.0}, {"f": running})
+    downs = [a for a in actions if isinstance(a, ScaleDownAction)]
+    # fat (70) fits in the 80 surplus; then mid (25) would overshoot -> stop.
+    assert [a.pod_id for a in downs] == ["pod-fat"]
+
+
+def test_scale_down_multiple(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    running = [
+        RunningPod("a", 12, 0.4, 18.0),
+        RunningPod("b", 24, 0.4, 25.0),
+        RunningPod("c", 100, 1.0, 70.0),
+    ]
+    actions = scaler.plan({"f": -100.0}, {"f": running})
+    assert [a.pod_id for a in actions] == ["c", "b"]
+
+
+def test_scale_down_never_overshoots(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    running = [RunningPod("only", 12, 0.4, 18.0)]
+    # Surplus 10 < T=18: removing would under-provision; keep the pod.
+    assert scaler.plan({"f": -10.0}, {"f": running}) == []
+
+
+def test_scale_down_ties_break_on_pod_id(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    running = [RunningPod("b", 12, 0.4, 18.0), RunningPod("a", 12, 0.4, 18.0)]
+    actions = scaler.plan({"f": -18.0}, {"f": running})
+    assert [a.pod_id for a in actions] == ["a"]
+
+
+def test_unknown_function_raises(db: ProfileDatabase):
+    scaler = HeuristicScaler(db)
+    with pytest.raises(KeyError):
+        scaler.plan({"ghost": 10.0}, {})
+
+
+def test_multi_function_plan(db: ProfileDatabase):
+    db.insert(ProfilePoint("g", 24, 0.5, 30.0))
+    scaler = HeuristicScaler(db)
+    actions = scaler.plan(
+        {"f": 18.0, "g": -40.0},
+        {"f": [], "g": [RunningPod("g1", 24, 0.5, 30.0)]},
+    )
+    kinds = {(type(a).__name__, a.function) for a in actions}
+    assert ("ScaleUpAction", "f") in kinds
+    assert ("ScaleDownAction", "g") in kinds
+
+
+def test_residual_prefers_higher_rpr_on_throughput_tie(db: ProfileDatabase):
+    db.insert(ProfilePoint("f", 40, 0.2, 8.0))  # same T as (6,0.4) but worse rpr? 8/(40*.2)=1.0
+    scaler = HeuristicScaler(db)
+    actions = scaler.plan({"f": 5.0}, {"f": []})
+    assert (actions[0].sm_partition, actions[0].quota) == (6, 0.4)

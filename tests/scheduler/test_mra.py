@@ -1,0 +1,169 @@
+"""Unit tests for the Maximal Rectangles Algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler import GPURectangleList, MaximalRectanglesScheduler, NoFitError, Rect
+
+
+def test_initial_state_one_full_rect():
+    gpu = GPURectangleList()
+    assert gpu.free == [Rect(0, 0, 100, 100)]
+    assert gpu.free_area() == 10000
+
+
+def test_place_bottom_left_with_maximal_splits():
+    gpu = GPURectangleList()
+    rect = gpu.place("a", 40, 12)
+    assert rect == Rect(0, 0, 40, 12)
+    # Both maximal splits kept: right remainder full-height, top full-width.
+    assert Rect(40, 0, 60, 100) in gpu.free
+    assert Rect(0, 12, 100, 88) in gpu.free
+    assert len(gpu.free) == 2
+
+
+def test_fig11_packing_eight_pods_on_one_gpu():
+    """Paper Fig. 11 workload: 4xResNet(40,12) + 2xRNNT(40,24) + 2xBERT(60,50)
+    fits a single GPU under MRA (Σ area = 98.4%)."""
+    gpu = GPURectangleList()
+    gpu.place("bert-1", 60, 50)
+    gpu.place("bert-2", 60, 50)
+    for i in range(4):
+        gpu.place(f"resnet-{i}", 40, 12)
+    for i in range(2):
+        gpu.place(f"rnnt-{i}", 40, 24)
+    assert gpu.used_area() == pytest.approx(9840)
+    # No placed rectangle overlaps another.
+    placed = list(gpu.placed.values())
+    for i, a in enumerate(placed):
+        for b in placed[i + 1:]:
+            assert not a.intersects(b), (a, b)
+
+
+def test_free_rects_never_overlap_placed():
+    gpu = GPURectangleList()
+    for i, (w, h) in enumerate([(40, 12), (60, 50), (40, 24), (30, 30)]):
+        gpu.place(f"p{i}", w, h)
+        for free in gpu.free:
+            for placed in gpu.placed.values():
+                assert not free.intersects(placed), (free, placed)
+
+
+def test_best_fit_minimises_area_gap():
+    gpu = GPURectangleList()
+    gpu.place("big", 60, 50)  # leaves (40x100 right) and (100x50 top) maximals
+    # A 40x50 pod: right rect (40x100, area 4000) vs top (100x50, area 5000).
+    best = gpu.best_fit(40, 50)
+    assert best == Rect(60, 0, 40, 100)
+
+
+def test_no_fit_raises():
+    gpu = GPURectangleList()
+    gpu.place("wall", 100, 60)
+    with pytest.raises(NoFitError):
+        gpu.place("too-tall", 10, 50)
+
+
+def test_out_of_bounds_rejected():
+    gpu = GPURectangleList()
+    with pytest.raises(ValueError):
+        gpu.place("w", 120, 10)
+    with pytest.raises(ValueError):
+        gpu.place("z", 10, 0)
+
+
+def test_double_place_rejected():
+    gpu = GPURectangleList()
+    gpu.place("a", 10, 10)
+    with pytest.raises(ValueError):
+        gpu.place("a", 10, 10)
+
+
+def test_remove_returns_rect_to_free_list():
+    gpu = GPURectangleList()
+    gpu.place("a", 40, 12)
+    gpu.remove("a")
+    assert gpu.placed == {}
+    # Keep-restructure: the released rect is directly reusable.
+    assert any(r.fits(40, 12) for r in gpu.free)
+    again = gpu.place("a2", 40, 12)
+    assert again == Rect(0, 0, 40, 12)
+
+
+def test_remove_unknown_raises():
+    with pytest.raises(KeyError):
+        GPURectangleList().remove("ghost")
+
+
+def test_restructure_triggers_on_threshold():
+    gpu = GPURectangleList(restructure_threshold=4)
+    for i in range(6):
+        gpu.place(f"p{i}", 15, 15)
+    for i in range(6):
+        gpu.remove(f"p{i}")
+    assert gpu.restructures >= 1
+    # Empty GPU restructures back to the single full rectangle.
+    assert gpu.free == [Rect(0, 0, 100, 100)]
+
+
+def test_restructure_preserves_placements():
+    gpu = GPURectangleList(restructure_threshold=3)
+    gpu.place("keep1", 40, 40)
+    gpu.place("keep2", 40, 40)
+    for i in range(5):
+        gpu.place(f"tmp{i}", 10, 10)
+    for i in range(5):
+        gpu.remove(f"tmp{i}")
+    assert set(gpu.placed) == {"keep1", "keep2"}
+    for free in gpu.free:
+        for placed in gpu.placed.values():
+            assert not free.intersects(placed)
+
+
+def test_scheduler_prefers_occupied_gpus():
+    scheduler = MaximalRectanglesScheduler(["node0", "node1"])
+    scheduler.bind("a", 40, 12)
+    # Second pod: node0's split rects have smaller area gaps than node1's
+    # pristine 100x100, so packing concentrates (paper: prioritise GPUs that
+    # already have resource rectangles).
+    node = scheduler.bind("b", 40, 12)
+    assert node == "node0"
+    assert scheduler.gpus_in_use() == 1
+
+
+def test_scheduler_spills_to_new_gpu_when_full():
+    scheduler = MaximalRectanglesScheduler(["node0", "node1"])
+    scheduler.bind("big1", 100, 60)
+    scheduler.bind("big2", 100, 60)  # cannot fit on node0
+    assert scheduler.gpus_in_use() == 2
+
+
+def test_scheduler_no_fit_raises():
+    scheduler = MaximalRectanglesScheduler(["node0"])
+    scheduler.bind("a", 100, 60)
+    with pytest.raises(NoFitError):
+        scheduler.bind("b", 100, 60)
+
+
+def test_scheduler_allowed_filter():
+    scheduler = MaximalRectanglesScheduler(["node0", "node1"])
+    node = scheduler.bind("a", 10, 10, allowed=lambda n: n == "node1")
+    assert node == "node1"
+
+
+def test_scheduler_unbind():
+    scheduler = MaximalRectanglesScheduler(["node0"])
+    scheduler.bind("a", 100, 60)
+    assert scheduler.unbind("a") == "node0"
+    scheduler.bind("b", 100, 60)  # space reclaimed
+    with pytest.raises(KeyError):
+        scheduler.unbind("a")
+
+
+def test_utilized_area_by_node():
+    scheduler = MaximalRectanglesScheduler(["node0", "node1"])
+    scheduler.bind("a", 50, 50)
+    shares = scheduler.utilized_area_by_node()
+    assert shares["node0"] == pytest.approx(0.25)
+    assert shares["node1"] == 0.0

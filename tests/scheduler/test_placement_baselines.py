@@ -1,0 +1,89 @@
+"""Unit tests for placement baselines (ablation substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler import (
+    FirstFitRectScheduler,
+    GuillotineRectangleList,
+    NoFitError,
+    QuotaPackingScheduler,
+)
+
+
+def test_quota_packing_first_fit():
+    packer = QuotaPackingScheduler(["n0", "n1", "n2", "n3"])
+    # The paper's Fig. 11 pod set by quota: 4x0.4 + 2x0.4 + 2x0.6 = 3.6,
+    # bound first-fit-decreasing as the time-sharing scheduler would.
+    quotas = sorted([0.4] * 4 + [0.4] * 2 + [0.6] * 2, reverse=True)
+    for i, quota in enumerate(quotas):
+        packer.bind(f"p{i}", quota)
+    # Time sharing alone needs all 4 GPUs (Σ quota = 3.6).
+    assert packer.gpus_in_use() == 4
+
+
+def test_quota_packing_rejects_overflow():
+    packer = QuotaPackingScheduler(["n0"])
+    packer.bind("a", 0.8)
+    with pytest.raises(NoFitError):
+        packer.bind("b", 0.3)
+
+
+def test_quota_packing_unbind_frees():
+    packer = QuotaPackingScheduler(["n0"])
+    packer.bind("a", 0.8)
+    assert packer.unbind("a") == "n0"
+    packer.bind("b", 0.9)
+
+
+def test_quota_packing_validation():
+    packer = QuotaPackingScheduler(["n0"])
+    with pytest.raises(ValueError):
+        packer.bind("a", 0.0)
+    with pytest.raises(ValueError):
+        QuotaPackingScheduler([])
+
+
+def test_guillotine_places_disjoint_free_rects():
+    gpu = GuillotineRectangleList()
+    gpu.place("a", 40, 12)
+    # Guillotine free rects are pairwise disjoint (unlike maximal rects).
+    for i, r1 in enumerate(gpu.free):
+        for r2 in gpu.free[i + 1:]:
+            assert not r1.intersects(r2)
+
+
+def test_guillotine_fragments_more_than_mra():
+    """The ablation's core claim: guillotine splits can refuse a pod MRA fits.
+
+    After placing (60, 50), the guillotine commits to disjoint pieces
+    (40x50 beside it, 100x50 above), neither of which fits a (40, 60) pod —
+    while MRA's maximal rectangles keep the full-height 40x100 right strip.
+    """
+    from repro.scheduler import GPURectangleList
+
+    mra = GPURectangleList()
+    mra.place("a", 60, 50)
+    mra.place("b", 40, 60)  # fits the maximal right strip
+
+    guillotine = GuillotineRectangleList()
+    guillotine.place("a", 60, 50)
+    with pytest.raises(NoFitError):
+        guillotine.place("b", 40, 60)
+
+
+def test_first_fit_uses_first_node_with_space():
+    firstfit = FirstFitRectScheduler(["n0", "n1"])
+    assert firstfit.bind("a", 100, 60) == "n0"
+    assert firstfit.bind("b", 100, 60) == "n1"
+    assert firstfit.gpus_in_use() == 2
+    firstfit.unbind("a")
+    assert firstfit.bind("c", 100, 60) == "n0"
+
+
+def test_first_fit_no_fit():
+    firstfit = FirstFitRectScheduler(["n0"])
+    firstfit.bind("a", 100, 100)
+    with pytest.raises(NoFitError):
+        firstfit.bind("b", 1, 1)

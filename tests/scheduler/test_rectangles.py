@@ -1,0 +1,114 @@
+"""Unit tests for resource-rectangle geometry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler import Rect, prune_contained, subtract
+
+
+def test_basic_properties():
+    rect = Rect(10, 20, 30, 40)
+    assert rect.right == 40
+    assert rect.top == 60
+    assert rect.area == 1200
+
+
+def test_negative_extent_rejected():
+    with pytest.raises(ValueError):
+        Rect(0, 0, -1, 5)
+
+
+def test_contains():
+    outer = Rect(0, 0, 100, 100)
+    assert outer.contains(Rect(10, 10, 20, 20))
+    assert outer.contains(outer)
+    assert not Rect(0, 0, 10, 10).contains(outer)
+
+
+def test_intersects_excludes_edge_touching():
+    a = Rect(0, 0, 10, 10)
+    assert not a.intersects(Rect(10, 0, 5, 5))  # shares an edge only
+    assert a.intersects(Rect(9, 9, 5, 5))
+
+
+def test_intersection_geometry():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 10, 10)
+    overlap = a.intersection(b)
+    assert overlap == Rect(5, 5, 5, 5)
+    assert a.intersection(Rect(20, 20, 5, 5)) is None
+
+
+def test_fits():
+    rect = Rect(0, 0, 40, 12)
+    assert rect.fits(40, 12)
+    assert rect.fits(30, 10)
+    assert not rect.fits(41, 12)
+    assert not rect.fits(40, 13)
+
+
+def test_subtract_no_overlap_returns_original():
+    free = Rect(0, 0, 10, 10)
+    assert subtract(free, Rect(50, 50, 5, 5)) == [free]
+
+
+def test_subtract_center_hole_gives_four_maximal_pieces():
+    free = Rect(0, 0, 100, 100)
+    placed = Rect(40, 40, 20, 20)
+    pieces = subtract(free, placed)
+    assert len(pieces) == 4
+    # Each piece is maximal: full height for the side slivers, full width for
+    # top/bottom; they overlap in the corners by design.
+    assert Rect(0, 0, 40, 100) in pieces
+    assert Rect(60, 0, 40, 100) in pieces
+    assert Rect(0, 0, 100, 40) in pieces
+    assert Rect(0, 60, 100, 40) in pieces
+
+
+def test_subtract_corner_overlap_gives_two_pieces():
+    free = Rect(0, 0, 10, 10)
+    placed = Rect(0, 0, 4, 4)  # bottom-left corner
+    pieces = subtract(free, placed)
+    assert len(pieces) == 2
+    assert Rect(4, 0, 6, 10) in pieces
+    assert Rect(0, 4, 10, 6) in pieces
+
+
+def test_subtract_full_cover_gives_nothing():
+    free = Rect(2, 2, 5, 5)
+    assert subtract(free, Rect(0, 0, 100, 100)) == []
+
+
+def test_subtract_preserves_total_coverage():
+    """Every point of free minus placed is covered by some piece."""
+    free = Rect(0, 0, 50, 30)
+    placed = Rect(10, 5, 15, 40)
+    pieces = subtract(free, placed)
+    for px in (0.5, 5, 9.9, 10.1, 24.9, 25.1, 49.5):
+        for py in (0.5, 4.9, 5.1, 15, 29.5):
+            inside_free = free.contains_point(px, py)
+            inside_placed = placed.x < px < placed.right and placed.y < py < placed.top
+            if inside_free and not inside_placed:
+                assert any(p.contains_point(px, py) for p in pieces), (px, py)
+
+
+def test_prune_contained_removes_nested():
+    rects = [Rect(0, 0, 100, 100), Rect(10, 10, 5, 5), Rect(50, 50, 50, 50)]
+    kept = prune_contained(rects)
+    assert kept == [Rect(0, 0, 100, 100)]
+
+
+def test_prune_keeps_overlapping_non_contained():
+    a = Rect(0, 0, 60, 100)
+    b = Rect(40, 0, 60, 100)
+    assert sorted(prune_contained([a, b]), key=lambda r: r.x) == [a, b]
+
+
+def test_prune_drops_degenerate():
+    assert prune_contained([Rect(0, 0, 0, 50), Rect(1, 1, 2, 2)]) == [Rect(1, 1, 2, 2)]
+
+
+def test_prune_deduplicates():
+    a = Rect(0, 0, 10, 10)
+    assert prune_contained([a, Rect(0, 0, 10, 10)]) == [a]

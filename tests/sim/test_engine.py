@@ -1,0 +1,117 @@
+"""Unit tests for the event-loop engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, ScheduleInPastError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_order():
+    engine = Engine()
+    order = []
+    engine.schedule(2.0, order.append, "b")
+    engine.schedule(1.0, order.append, "a")
+    engine.schedule(3.0, order.append, "c")
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 3.0
+
+
+def test_same_time_events_run_in_schedule_order():
+    engine = Engine()
+    order = []
+    for tag in range(10):
+        engine.schedule(1.0, order.append, tag)
+    engine.run()
+    assert order == list(range(10))
+
+
+def test_run_until_advances_clock_even_without_events():
+    engine = Engine()
+    engine.run(until=5.0)
+    assert engine.now == 5.0
+
+
+def test_run_until_does_not_execute_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, fired.append, "late")
+    engine.run(until=5.0)
+    assert fired == []
+    assert engine.now == 5.0
+    engine.run(until=15.0)
+    assert fired == ["late"]
+
+
+def test_schedule_in_past_raises():
+    engine = Engine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(ScheduleInPastError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_negative_timeout_raises():
+    engine = Engine()
+    with pytest.raises(ScheduleInPastError):
+        engine.timeout(-1.0)
+
+
+def test_cancel_prevents_callback():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, 1)
+    engine.schedule(2.0, engine.stop)
+    engine.schedule(3.0, fired.append, 3)
+    engine.run()
+    assert fired == [1]
+    assert engine.now == 2.0
+    # Resuming picks the remaining event back up.
+    engine.run()
+    assert fired == [1, 3]
+
+
+def test_nested_scheduling_from_callback():
+    engine = Engine()
+    seen = []
+
+    def outer():
+        seen.append(("outer", engine.now))
+        engine.schedule(0.5, inner)
+
+    def inner():
+        seen.append(("inner", engine.now))
+
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+
+def test_run_until_in_past_raises():
+    engine = Engine()
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    with pytest.raises(ScheduleInPastError):
+        engine.run(until=1.0)
+
+
+def test_pending_events_counts_uncancelled():
+    engine = Engine()
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert engine.pending_events == 1

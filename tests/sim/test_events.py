@@ -1,0 +1,103 @@
+"""Unit tests for events and composites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine
+from repro.sim.errors import SimulationError
+from repro.sim.events import EventAlreadyTriggeredError
+
+
+def test_event_succeed_carries_value():
+    engine = Engine()
+    event = engine.event("e")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(42)
+    assert event.ok and event.value == 42
+    assert seen == [42]
+
+
+def test_callback_after_trigger_runs_immediately():
+    engine = Engine()
+    event = engine.event()
+    event.succeed("v")
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_double_trigger_raises():
+    engine = Engine()
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(EventAlreadyTriggeredError):
+        event.succeed()
+    with pytest.raises(EventAlreadyTriggeredError):
+        event.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception():
+    engine = Engine()
+    with pytest.raises(TypeError):
+        engine.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_timeout_fires_at_right_time():
+    engine = Engine()
+    timeout = engine.timeout(2.5, value="done")
+    engine.run()
+    assert timeout.ok and timeout.value == "done"
+    assert engine.now == 2.5
+
+
+def test_all_of_waits_for_every_event():
+    engine = Engine()
+    t1, t2, t3 = engine.timeout(1.0, 1), engine.timeout(3.0, 3), engine.timeout(2.0, 2)
+    combo = AllOf(engine, [t1, t2, t3])
+    engine.run()
+    assert combo.ok
+    assert combo.value == [1, 3, 2]  # ordered as given, not by completion
+
+
+def test_all_of_empty_succeeds_immediately():
+    engine = Engine()
+    combo = AllOf(engine, [])
+    assert combo.ok and combo.value == []
+
+
+def test_all_of_fails_fast():
+    engine = Engine()
+    bad = engine.event()
+    slow = engine.timeout(10.0)
+    combo = AllOf(engine, [bad, slow])
+    bad.fail(ValueError("boom"))
+    assert combo.failed
+    assert isinstance(combo.value, ValueError)
+
+
+def test_any_of_settles_on_first():
+    engine = Engine()
+    fast, slow = engine.timeout(1.0, "fast"), engine.timeout(5.0, "slow")
+    combo = AnyOf(engine, [fast, slow])
+    engine.run(until=2.0)
+    assert combo.ok and combo.value == "fast"
+
+
+def test_process_yield_on_triggered_event_resumes():
+    engine = Engine()
+    event = engine.event()
+    event.succeed("already")
+
+    def proc():
+        value = yield event
+        return value
+
+    p = engine.process(proc())
+    engine.run()
+    assert p.ok and p.value == "already"
+
+
+def test_simulation_error_is_runtime_error():
+    assert issubclass(SimulationError, RuntimeError)

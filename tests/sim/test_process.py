@@ -1,0 +1,177 @@
+"""Unit tests for generator processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, Interrupt
+
+
+def test_process_runs_and_returns_value():
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(1.0)
+        yield engine.timeout(2.0)
+        return "done"
+
+    proc = engine.process(worker())
+    engine.run()
+    assert proc.ok and proc.value == "done"
+    assert engine.now == 3.0
+
+
+def test_process_receives_timeout_value():
+    engine = Engine()
+    seen = []
+
+    def worker():
+        value = yield engine.timeout(1.0, value="payload")
+        seen.append(value)
+
+    engine.process(worker())
+    engine.run()
+    assert seen == ["payload"]
+
+
+def test_process_starts_after_spawner_finishes():
+    engine = Engine()
+    order = []
+
+    def worker():
+        order.append("worker")
+        yield engine.timeout(0.0)
+
+    def spawner():
+        engine.process(worker())
+        order.append("spawner")
+        yield engine.timeout(0.0)
+
+    engine.process(spawner())
+    engine.run()
+    assert order == ["spawner", "worker"]
+
+
+def test_process_joins_another_process():
+    engine = Engine()
+
+    def child():
+        yield engine.timeout(2.0)
+        return 99
+
+    def parent():
+        value = yield engine.process(child())
+        return value + 1
+
+    proc = engine.process(parent())
+    engine.run()
+    assert proc.value == 100
+
+
+def test_uncaught_exception_fails_process():
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(1.0)
+        raise ValueError("kaput")
+
+    proc = engine.process(worker())
+    engine.run()
+    assert proc.failed
+    assert isinstance(proc.value, ValueError)
+
+
+def test_waiting_on_failed_event_raises_in_process():
+    engine = Engine()
+    bad = engine.event()
+
+    def worker():
+        try:
+            yield bad
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    proc = engine.process(worker())
+    engine.schedule(1.0, bad.fail, RuntimeError("boom"))
+    engine.run()
+    assert proc.ok and proc.value == "caught boom"
+
+
+def test_interrupt_is_catchable():
+    engine = Engine()
+
+    def worker():
+        try:
+            yield engine.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause)
+
+    proc = engine.process(worker())
+    engine.schedule(1.0, proc.interrupt, "eviction")
+    engine.run(until=2.0)
+    assert proc.ok
+    assert proc.value == ("interrupted", "eviction")
+
+
+def test_interrupt_finished_process_is_noop():
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(1.0)
+
+    proc = engine.process(worker())
+    engine.run()
+    proc.interrupt("late")  # must not raise
+    assert proc.ok
+
+
+def test_unhandled_interrupt_fails_process():
+    engine = Engine()
+
+    def worker():
+        yield engine.timeout(100.0)
+
+    proc = engine.process(worker())
+    engine.schedule(1.0, proc.interrupt)
+    engine.run(until=2.0)
+    assert proc.failed
+    assert isinstance(proc.value, Interrupt)
+
+
+def test_process_requires_generator():
+    engine = Engine()
+    with pytest.raises(TypeError, match="generator"):
+        engine.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_fails_process():
+    engine = Engine()
+
+    def worker():
+        yield 42  # type: ignore[misc]
+
+    proc = engine.process(worker())
+    engine.run()
+    assert proc.failed
+    assert isinstance(proc.value, TypeError)
+
+
+def test_interrupted_process_ignores_stale_wakeup():
+    engine = Engine()
+    resumptions = []
+
+    def worker():
+        try:
+            yield engine.timeout(5.0)
+            resumptions.append("timeout")
+        except Interrupt:
+            resumptions.append("interrupt")
+            yield engine.timeout(10.0)
+            resumptions.append("after")
+
+    proc = engine.process(worker())
+    engine.schedule(1.0, proc.interrupt)
+    engine.run()
+    # The stale 5 s timeout fires mid-second-wait and must not resume it.
+    assert resumptions == ["interrupt", "after"]
+    assert proc.ok

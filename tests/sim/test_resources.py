@@ -1,0 +1,130 @@
+"""Unit tests for Store and Gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, Gate, Store
+from repro.sim.resources import StoreEmptyError, StoreFullError
+
+
+def test_store_put_then_get():
+    engine = Engine()
+    store = Store(engine)
+    store.put("a")
+    event = store.get()
+    assert event.ok and event.value == "a"
+
+
+def test_store_get_waits_for_put():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((engine.now, item))
+
+    engine.process(consumer())
+    engine.schedule(2.0, store.put, "late-item")
+    engine.run()
+    assert got == [(2.0, "late-item")]
+
+
+def test_store_fifo_order_for_getters():
+    engine = Engine()
+    store = Store(engine)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    engine.process(consumer("first"))
+    engine.process(consumer("second"))
+    engine.schedule(1.0, store.put, "x")
+    engine.schedule(2.0, store.put, "y")
+    engine.run()
+    assert got == [("first", "x"), ("second", "y")]
+
+
+def test_store_capacity_enforced():
+    engine = Engine()
+    store = Store(engine, capacity=2)
+    store.put(1)
+    store.put(2)
+    with pytest.raises(StoreFullError):
+        store.put(3)
+    assert store.try_put(3) is False
+    store.get_nowait()
+    assert store.try_put(3) is True
+
+
+def test_store_get_nowait_empty_raises():
+    engine = Engine()
+    with pytest.raises(StoreEmptyError):
+        Store(engine).get_nowait()
+
+
+def test_store_drain():
+    engine = Engine()
+    store = Store(engine)
+    for i in range(5):
+        store.put(i)
+    assert store.drain() == [0, 1, 2, 3, 4]
+    assert len(store) == 0
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(ValueError):
+        Store(Engine(), capacity=0)
+
+
+def test_abandoned_getter_is_skipped():
+    engine = Engine()
+    store = Store(engine)
+    first = store.get()
+    second = store.get()
+    first.fail(RuntimeError("abandoned"))  # e.g. replica torn down
+    store.put("item")
+    assert second.ok and second.value == "item"
+
+
+def test_gate_open_passes_immediately():
+    engine = Engine()
+    gate = Gate(engine, open_=True)
+    assert gate.wait().ok
+
+
+def test_gate_closed_blocks_until_open():
+    engine = Engine()
+    gate = Gate(engine, open_=False)
+    passed = []
+
+    def walker():
+        yield gate.wait()
+        passed.append(engine.now)
+
+    engine.process(walker())
+    engine.schedule(3.0, gate.open)
+    engine.run()
+    assert passed == [3.0]
+
+
+def test_gate_reclose_blocks_new_waiters():
+    engine = Engine()
+    gate = Gate(engine, open_=False)
+    times = []
+
+    def walker():
+        yield gate.wait()
+        times.append(engine.now)
+        gate.close()
+        yield gate.wait()
+        times.append(engine.now)
+
+    engine.process(walker())
+    engine.schedule(1.0, gate.open)
+    engine.schedule(5.0, gate.open)
+    engine.run()
+    assert times == [1.0, 5.0]

@@ -1,0 +1,54 @@
+"""Unit tests for named RNG streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import Engine, RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("gateway").random(10)
+    b = RngStreams(7).stream("gateway").random(10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(7)
+    a = streams.stream("gateway").random(10)
+    b = streams.stream("device").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random(10)
+    b = RngStreams(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_adding_a_stream_does_not_perturb_others():
+    lone = RngStreams(3)
+    seq_lone = lone.stream("a").random(5)
+
+    pair = RngStreams(3)
+    pair.stream("b").random(100)  # interleaved usage of another stream
+    seq_pair = pair.stream("a").random(5)
+    np.testing.assert_array_equal(seq_lone, seq_pair)
+
+
+def test_reset_reseeds_identically():
+    streams = RngStreams(11)
+    first = streams.stream("x").random(4)
+    streams.reset()
+    second = streams.stream("x").random(4)
+    np.testing.assert_array_equal(first, second)
+
+
+def test_engine_exposes_rng():
+    engine = Engine(seed=5)
+    assert engine.rng.stream("anything") is engine.rng.stream("anything")

@@ -1,0 +1,75 @@
+"""Smoke tests for the experiment runners (quick scale).
+
+The benchmarks assert the paper shapes at slightly larger scale; these tests
+guard that every runner executes, returns well-formed results, and that the
+headline directions hold even at the smallest scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig01_motivation,
+    fig09_isolation,
+    fig11_scheduler,
+    fig12_autoscaling,
+    fig13_modelsharing,
+)
+
+
+def test_fig01_quick():
+    result = fig01_motivation.run(quick=True)
+    assert result.time_sharing.gpu_utilization > result.device_plugin.gpu_utilization
+    assert result.time_sharing.sm_occupancy < 10
+    assert "Fig. 1" in fig01_motivation.format_result(result)
+
+
+def test_fig09_quick():
+    result = fig09_isolation.run(quick=True)
+    assert result.time_sharing.interference_drop > result.spatio_temporal.interference_drop
+    assert len(result.time_sharing.resnet_series) > 10
+    assert "isolation" in fig09_isolation.format_result(result)
+
+
+def test_fig11_quick():
+    result = fig11_scheduler.run(quick=True)
+    assert result.fast_scheduler.gpus_used == 1
+    assert result.time_sharing.gpus_used == 4
+    assert "GPU 0" in fig11_scheduler.format_result(result)
+
+
+def test_fig12_quick():
+    result = fig12_autoscaling.run(quick=True)
+    assert result.completed == result.submitted
+    assert result.max_replicas >= 2
+    assert len(result.times) == len(result.offered_rps)
+    assert "auto-scaling" in fig12_autoscaling.format_result(result)
+
+
+def test_fig13_quick():
+    result = fig13_modelsharing.run(quick=True)
+    assert result.bar("resnet50").original_mb == pytest.approx(1525, abs=1)
+    assert result.resnext_pods_with_sharing > result.resnext_pods_without_sharing
+    assert "memory footprint" in fig13_modelsharing.format_result(result)
+
+
+def test_ablation_format():
+    placement = ablations.run_placement_ablation(pods=40)
+    tokens = ablations.run_token_ablation(duration=3.0)
+    priority = ablations.run_priority_ablation(duration=3.0)
+    text = ablations.format_results(placement, tokens, priority)
+    assert "Ablation A1" in text and "Ablation A3" in text
+
+
+def test_cli_list_and_run(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig08" in out and "headline" in out
+
+    assert main(["fig13", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 13" in out and "finished" in out
