@@ -54,6 +54,42 @@ def test_device_fluid_model_throughput(benchmark):
     assert completed == 8_000
 
 
+def test_device_heavy_overlap_throughput(benchmark):
+    """~32 bursts resident at once: the regime where the seed model's O(n)
+    timer sweeps were quadratic (76 s at this scale; now ~tens of ms).
+
+    Reuses the exact workload behind ``python -m repro bench`` so the
+    pytest-benchmark numbers and BENCH_engine.json stay comparable; the
+    workload itself asserts no bursts were lost.
+    """
+    from repro.experiments.runner import churn_workload
+
+    elapsed = benchmark(churn_workload, GPUDevice, 4_000, 32, 0.064)
+    assert elapsed > 0
+
+
+def _cancel_churn() -> int:
+    """Cancel-heavy scheduling: exercises lazy deletion + heap compaction."""
+    engine = Engine()
+    fired = 0
+
+    def tick(i: int):
+        nonlocal fired
+        fired += 1
+        for _ in range(8):
+            engine.schedule(10.0, tick, -1).cancel()
+        if i < 10_000:
+            engine.schedule(0.001, tick, i + 1)
+
+    engine.schedule(0.001, tick, 1)
+    engine.run()
+    return fired
+
+
+def test_cancel_churn_throughput(benchmark):
+    assert benchmark(_cancel_churn) == 10_000
+
+
 def _process_churn() -> int:
     engine = Engine()
     done = 0

@@ -4,54 +4,48 @@ Usage::
 
     python -m repro list
     python -m repro fig08 [--quick] [--seed 42]
-    python -m repro all --quick
+    python -m repro all --quick --jobs 4
+    python -m repro --jobs 4                 # full figure suite, parallel
+    python -m repro bench --quick            # writes BENCH_engine.json
+
+``--jobs N`` fans the selected experiments (and ``--replicates R`` seed
+replicates of each) across ``N`` worker processes via
+:mod:`repro.experiments.runner`; per-task seeds are deterministic, so the
+parallel run prints bit-identical results to the serial one.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments import (
-    ablations,
-    fig01_motivation,
-    fig08_profiling,
-    fig09_isolation,
-    fig10_spatial,
-    fig11_scheduler,
-    fig12_autoscaling,
-    fig13_modelsharing,
-    headline,
-)
-
-_SIMPLE = {
-    "fig01": fig01_motivation,
-    "fig08": fig08_profiling,
-    "fig09": fig09_isolation,
-    "fig10": fig10_spatial,
-    "fig11": fig11_scheduler,
-    "fig12": fig12_autoscaling,
-    "fig13": fig13_modelsharing,
-    "headline": headline,
-}
+from repro.experiments import runner
+from repro.experiments.runner import SIMPLE_EXPERIMENTS, ablations
 
 
-def _run_ablations(quick: bool, seed: int) -> str:
-    duration = 5.0 if quick else 12.0
-    placement = ablations.run_placement_ablation(seed=seed, pods=200)
-    tokens = ablations.run_token_ablation(duration=duration, seed=seed)
-    priority = ablations.run_priority_ablation(duration=duration, seed=seed)
-    return ablations.format_results(placement, tokens, priority)
+def _cmd_list() -> int:
+    for name in runner.experiment_names():
+        doc = (SIMPLE_EXPERIMENTS.get(name) or ablations).__doc__ or ""
+        print(f"{name:<10} {doc.strip().splitlines()[0]}")
+    return 0
 
 
-def run_one(name: str, quick: bool, seed: int) -> str:
-    if name == "ablations":
-        return _run_ablations(quick, seed)
-    module = _SIMPLE[name]
-    kwargs = {"quick": quick, "seed": seed}
-    result = module.run(**kwargs)
-    return module.format_result(result)
+def _cmd_bench(quick: bool, jobs: int, output: str) -> int:
+    report = runner.write_benchmark_report(output, quick=quick, jobs=jobs)
+    churn = report["device_churn"]
+    ref = report["device_churn_reference"]
+    print(f"timer churn     : {report['timer_churn']['events_per_sec']:,.0f} events/s")
+    print(f"device churn    : {churn['bursts_per_sec']:,.0f} bursts/s (single-timer model)")
+    print(f"reference model : {ref['bursts_per_sec']:,.0f} bursts/s (seed semantics)")
+    print(f"speedup         : {report['speedup_vs_reference']:.1f}x")
+    if "parallel_runner" in report:
+        par = report["parallel_runner"]
+        print(
+            f"parallel runner : {par['speedup']:.2f}x on {par['jobs']} jobs "
+            f"(bit_identical={par['bit_identical']})"
+        )
+    print(f"[report written to {output}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,26 +55,54 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_SIMPLE) + ["ablations", "all", "list"],
-        help="which experiment to run (or 'list' / 'all')",
+        nargs="?",
+        default="all",
+        choices=sorted(SIMPLE_EXPERIMENTS) + ["ablations", "all", "list", "bench"],
+        help="which experiment to run (or 'list' / 'all' / 'bench'; default: all)",
     )
     parser.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment suite (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        metavar="R",
+        help="seed replicates per experiment (deterministic derived seeds)",
+    )
+    parser.add_argument(
+        "--bench-output",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="where 'bench' writes its JSON report",
+    )
     args = parser.parse_args(argv)
+    if args.replicates < 1:
+        parser.error(f"--replicates must be >= 1, got {args.replicates}")
 
     if args.experiment == "list":
-        for name in sorted(_SIMPLE) + ["ablations"]:
-            doc = (_SIMPLE.get(name) or ablations).__doc__ or ""
-            print(f"{name:<10} {doc.strip().splitlines()[0]}")
-        return 0
+        return _cmd_list()
+    if args.experiment == "bench":
+        return _cmd_bench(args.quick, args.jobs, args.bench_output)
 
-    names = sorted(_SIMPLE) + ["ablations"] if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.perf_counter()
-        output = run_one(name, args.quick, args.seed)
-        elapsed = time.perf_counter() - start
-        print(output)
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    names = runner.experiment_names() if args.experiment == "all" else [args.experiment]
+    results = runner.iter_suite(
+        names,
+        seed=args.seed,
+        quick=args.quick,
+        jobs=args.jobs,
+        replicates=args.replicates,
+    )
+    for result in results:
+        print(result.output)
+        tag = result.name if result.replicate == 0 else f"{result.name} r{result.replicate}"
+        print(f"[{tag} finished in {result.elapsed:.1f}s]\n")
     return 0
 
 

@@ -16,6 +16,10 @@ fig13       model-sharing memory footprints (Fig. 13)
 headline    the 3.15x / 1.34x / 3.13x improvement summary (§1, §5)
 ablations   MRA vs placement baselines; token scheduler variants
 ==========  ==========================================================
+
+:mod:`repro.experiments.runner` executes any subset of these — serially or
+fanned across a process pool with deterministic per-task seeds — and hosts
+the engine micro-benchmark behind ``python -m repro bench``.
 """
 
 from repro.experiments import (  # noqa: F401  (re-export for discoverability)
@@ -29,6 +33,8 @@ from repro.experiments import (  # noqa: F401  (re-export for discoverability)
     fig13_modelsharing,
     headline,
 )
+from repro.experiments import runner  # noqa: E402,F401  (after the figure
+# modules: runner re-imports them from this partially-initialised package)
 
 __all__ = [
     "ablations",
@@ -40,4 +46,5 @@ __all__ = [
     "fig12_autoscaling",
     "fig13_modelsharing",
     "headline",
+    "runner",
 ]

@@ -126,7 +126,11 @@ def run_token_ablation(
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class PriorityAblation:
-    pod_id: str
+    #: Stable pod *name* (``fastpod-<fn>-<serial>``), not the uid-suffixed
+    #: ``pod_id``: uids come from a process-global counter, and the report
+    #: must be bit-identical whether the suite ran serially or fanned across
+    #: worker processes (see repro.experiments.runner).
+    pod_name: str
     quota_request: float
     achieved_share: float
 
@@ -160,7 +164,7 @@ def run_priority_ablation(
         used = entry.total_gpu_seconds if entry is not None else 0.0
         results.append(
             PriorityAblation(
-                pod_id=replica.pod.pod_id,
+                pod_name=replica.pod.meta.name,
                 quota_request=quota,
                 achieved_share=used / duration,
             )
@@ -185,7 +189,7 @@ def format_results(
     lines.append("Ablation A3 — Q_miss priority: achieved GPU share vs guarantee")
     for row in priority:
         lines.append(
-            f"  {row.pod_id:<28} requested {row.quota_request:.2f}  "
+            f"  {row.pod_name:<28} requested {row.quota_request:.2f}  "
             f"achieved {row.achieved_share:.3f}  shortfall {100 * row.shortfall:4.1f}%"
         )
     return "\n".join(lines)

@@ -1,9 +1,25 @@
-"""The discrete-event engine: virtual clock + binary-heap scheduler.
+"""The discrete-event engine: virtual clock + compacting binary-heap scheduler.
 
 The engine is deliberately small and allocation-light: the hot path (pop a
 handle, run a callback) is a few attribute accesses, which keeps multi-minute
 cluster simulations in the hundreds-of-milliseconds range (see
 ``benchmarks/test_engine_speed.py``).
+
+Complexity guarantees
+---------------------
+* ``schedule`` / ``schedule_at``: O(log n) heap push.
+* ``Handle.cancel``: O(1) — lazy deletion, the entry stays in the heap but is
+  counted dead.  When more than half of the heap is dead (and the heap is
+  non-trivially sized) the next scheduling operation **compacts** the heap:
+  dead entries are dropped and the survivors re-heapified in O(n).  Amortised,
+  every cancelled handle is touched O(1) extra times, and the heap never holds
+  more than 2× the live entries — cancel-heavy workloads (fluid-device timer
+  churn, speculative timeouts) no longer bloat ``step``'s pop loop.
+* ``pending_events``: exact and O(1) (live-entry counter, not a heap scan).
+* ``peek``: O(1) amortised — drains dead entries off the top only.
+* ``run(until=...)``: batched fast path with locally-bound heap ops; clock
+  semantics are unchanged (advances to exactly ``until`` even if no event
+  fires there, mirroring SimPy so metric integrals cover the full horizon).
 """
 
 from __future__ import annotations
@@ -19,11 +35,15 @@ from repro.sim.process import Process
 from repro.sim.rng import RngStreams
 from repro.sim.tracing import TraceLog
 
+#: Compact the heap when dead entries outnumber live ones *and* the heap is at
+#: least this large (tiny heaps are cheaper to drain than to rebuild).
+_COMPACT_MIN_SIZE = 64
+
 
 class Handle:
     """A cancelable reference to a scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_engine")
 
     def __init__(self, time: float, seq: int, callback: _t.Callable, args: tuple):
         self.time = time
@@ -31,10 +51,18 @@ class Handle:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine: "Engine | None" = None
 
     def cancel(self) -> None:
         """Prevent the callback from running (lazy deletion from the heap)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            # Still in the heap: account the dead entry so pending_events
+            # stays exact and compaction can trigger.
+            engine._dead += 1
 
     def __lt__(self, other: "Handle") -> bool:
         # FIFO tie-break via the monotonically increasing sequence number so
@@ -61,6 +89,8 @@ class Engine:
         self._heap: list[Handle] = []
         self._seq = itertools.count()
         self._stopped = False
+        #: Cancelled-but-not-yet-popped entries currently in the heap.
+        self._dead = 0
         self.rng = RngStreams(seed)
         self.trace = TraceLog(enabled=trace)
         self._processes_started = 0
@@ -84,9 +114,36 @@ class Engine:
             )
         if math.isnan(time):
             raise SimulationError("cannot schedule at NaN time")
+        heap = self._heap
+        if self._dead * 2 > len(heap) and len(heap) >= _COMPACT_MIN_SIZE:
+            self._compact()
         handle = Handle(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, handle)
+        handle._engine = self
+        heapq.heappush(heap, handle)
         return handle
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify — O(n), amortised O(1) per cancel.
+
+        Determinism is unaffected: pop order is fully determined by the
+        ``(time, seq)`` ordering of the surviving handles, not by their heap
+        layout.
+        """
+        live = [h for h in self._heap if not h.cancelled]
+        for handle in self._heap:
+            if handle.cancelled:
+                handle._engine = None
+        heapq.heapify(live)
+        # In-place so local bindings of the heap (run()'s hot loop, a
+        # mid-compaction schedule_at) keep seeing the live structure.
+        self._heap[:] = live
+        self._dead = 0
+
+    def _detach(self, handle: Handle) -> None:
+        """Bookkeeping for a handle just popped off the heap."""
+        handle._engine = None
+        if handle.cancelled:
+            self._dead -= 1
 
     # -- event / process factories ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -105,11 +162,27 @@ class Engine:
         return Process(self, generator, name or f"proc-{self._processes_started}")
 
     # -- running -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next live event, or ``math.inf`` if the queue is empty.
+
+        Dead (cancelled) entries encountered at the top of the heap are
+        drained as a side effect, so repeated peeks are O(1) amortised.
+        """
+        heap = self._heap
+        while heap:
+            handle = heap[0]
+            if not handle.cancelled:
+                return handle.time
+            heapq.heappop(heap)
+            self._detach(handle)
+        return math.inf
+
     def step(self) -> bool:
         """Execute the next scheduled callback. Returns False if none left."""
         heap = self._heap
         while heap:
             handle = heapq.heappop(heap)
+            self._detach(handle)
             if handle.cancelled:
                 continue
             self._now = handle.time
@@ -126,8 +199,10 @@ class Engine:
         """
         self._stopped = False
         heap = self._heap
+        heappop = heapq.heappop  # local binding: the loop below is the hot path
         if until is None:
-            while not self._stopped and self.step():
+            step = self.step
+            while not self._stopped and step():
                 pass
             return self._now
         if until < self._now:
@@ -135,11 +210,13 @@ class Engine:
         while not self._stopped and heap:
             handle = heap[0]
             if handle.cancelled:
-                heapq.heappop(heap)
+                heappop(heap)
+                self._detach(handle)
                 continue
             if handle.time > until:
                 break
-            heapq.heappop(heap)
+            heappop(heap)
+            self._detach(handle)
             self._now = handle.time
             handle.callback(*handle.args)
         if not self._stopped:
@@ -152,5 +229,10 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled callbacks in the queue (approximate)."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of not-yet-cancelled callbacks in the queue (exact, O(1))."""
+        return len(self._heap) - self._dead
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including dead entries (introspection for tests)."""
+        return len(self._heap)

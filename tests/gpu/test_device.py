@@ -125,6 +125,22 @@ def test_active_demand_and_speed(engine: Engine, v100: GPUDevice):
     assert v100.active_count == 2
 
 
+def test_sync_metrics_does_not_churn_the_device_timer(engine: Engine, v100: GPUDevice):
+    """A metrics sync that completes nothing must keep the armed timer
+    (no cancel+re-push, which would bloat the engine heap under sampling)."""
+    v100.submit(burst(5.0, demand=50))
+    engine.run(until=1.0)
+    timer_before = v100._timer
+    pending_before = engine.pending_events
+    for _ in range(10):
+        v100.sync_metrics()
+    assert v100._timer is timer_before
+    assert engine.pending_events == pending_before
+    engine.run()
+    assert v100.completed_bursts == 1
+    assert engine.now == pytest.approx(5.0)
+
+
 def test_measured_residency_reflects_stretching(engine: Engine, v100: GPUDevice):
     d1 = v100.submit(burst(1.0, demand=100))
     d2 = v100.submit(burst(1.0, demand=100))

@@ -115,3 +115,94 @@ def test_pending_events_counts_uncancelled():
     engine.schedule(2.0, lambda: None)
     h1.cancel()
     assert engine.pending_events == 1
+
+
+def test_pending_events_is_exact_through_pops_and_cancels():
+    engine = Engine()
+    handles = [engine.schedule(float(i), lambda: None) for i in range(10)]
+    for h in handles[::2]:
+        h.cancel()
+    assert engine.pending_events == 5
+    engine.run(until=4.0)  # pops t=1,3 (live) and drains t=0,2,4 (dead)
+    assert engine.pending_events == 3
+    engine.run()
+    assert engine.pending_events == 0
+
+
+def test_cancel_twice_does_not_double_count():
+    engine = Engine()
+    h = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert engine.pending_events == 1
+
+
+def test_cancel_after_execution_is_a_noop():
+    engine = Engine()
+    h = engine.schedule(1.0, lambda: None)
+    engine.run()
+    h.cancel()  # must not corrupt the live-entry accounting
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 1
+
+
+def test_peek_returns_next_live_time():
+    import math
+
+    engine = Engine()
+    assert engine.peek() == math.inf
+    h1 = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.peek() == 1.0
+    h1.cancel()
+    assert engine.peek() == 2.0
+    engine.run()
+    assert engine.peek() == math.inf
+
+
+def test_heap_compaction_drops_dead_entries():
+    engine = Engine()
+    handles = [engine.schedule(float(i), lambda: None) for i in range(200)]
+    for h in handles[:150]:
+        h.cancel()
+    assert engine.heap_size == 200
+    assert engine.pending_events == 50
+    # The next schedule sees >50% dead entries and compacts first.
+    engine.schedule(500.0, lambda: None)
+    assert engine.heap_size == 51
+    assert engine.pending_events == 51
+
+
+def test_compaction_preserves_execution_order():
+    engine = Engine()
+    fired = []
+    handles = []
+    for i in range(100):
+        handles.append(engine.schedule(float(i), fired.append, i))
+    for i, h in enumerate(handles):
+        if i % 3 != 0:
+            h.cancel()
+    engine.schedule(1000.0, fired.append, 1000)  # triggers compaction
+    engine.run()
+    assert fired == [i for i in range(100) if i % 3 == 0] + [1000]
+
+
+def test_schedule_from_callback_survives_compaction():
+    """A callback scheduling mid-run must land in the live heap even if its
+    schedule call triggers compaction (run() holds a local heap binding)."""
+    engine = Engine()
+    fired = []
+    dead = [engine.schedule(0.5, lambda: None) for _ in range(100)]
+
+    def chain(n: int) -> None:
+        fired.append(n)
+        for h in dead:
+            h.cancel()
+        if n < 3:
+            engine.schedule(1.0, chain, n + 1)
+
+    engine.schedule(0.0, chain, 0)
+    engine.run(until=10.0)
+    assert fired == [0, 1, 2, 3]
+    assert engine.pending_events == 0
