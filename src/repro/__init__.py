@@ -19,7 +19,7 @@ Quickstart::
     print(report.summary())
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.models import MODEL_ZOO, ModelProfile, get_model
 

@@ -7,11 +7,20 @@ Usage::
     python -m repro all --quick --jobs 4
     python -m repro --jobs 4                 # full figure suite, parallel
     python -m repro bench --quick            # writes BENCH_engine.json
+    python -m repro cluster-bench --quick    # writes BENCH_cluster.json
 
 ``--jobs N`` fans the selected experiments (and ``--replicates R`` seed
 replicates of each) across ``N`` worker processes via
 :mod:`repro.experiments.runner`; per-task seeds are deterministic, so the
 parallel run prints bit-identical results to the serial one.
+
+``cluster-bench`` replays a production-shaped trace set over a heterogeneous
+GPU cluster under each placement policy (``--nodes``/``--policies``) and
+writes per-policy SLO-violation/GPU-count metrics to ``--cluster-output``.
+
+Any invalid invocation (unknown experiment, bad ``--nodes``/``--policies``
+value) exits non-zero with a usage message, and an experiment that raises
+exits 1 — CI cannot silently pass on a typo'd bench run.
 """
 
 from __future__ import annotations
@@ -27,6 +36,8 @@ def _cmd_list() -> int:
     for name in runner.experiment_names():
         doc = (SIMPLE_EXPERIMENTS.get(name) or ablations).__doc__ or ""
         print(f"{name:<10} {doc.strip().splitlines()[0]}")
+    print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
+    print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
     return 0
 
 
@@ -48,6 +59,22 @@ def _cmd_bench(quick: bool, jobs: int, output: str) -> int:
     return 0
 
 
+def _cmd_cluster_bench(
+    quick: bool, seed: int, nodes: list[str], policies: list[str], output: str
+) -> int:
+    from repro.experiments import fig14_cluster
+
+    result = fig14_cluster.run(quick=quick, seed=seed, nodes=nodes, policies=policies)
+    print(fig14_cluster.format_result(result))
+    fig14_cluster.write_cluster_report(output, result)
+    print(f"[report written to {output}]")
+    return 0
+
+
+def _split_csv(raw: str) -> list[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -57,8 +84,9 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="all",
-        choices=sorted(SIMPLE_EXPERIMENTS) + ["ablations", "all", "list", "bench"],
-        help="which experiment to run (or 'list' / 'all' / 'bench'; default: all)",
+        choices=sorted(SIMPLE_EXPERIMENTS) + ["ablations", "all", "list", "bench", "cluster-bench"],
+        help="which experiment to run (or 'list' / 'all' / 'bench' / 'cluster-bench'; "
+        "default: all)",
     )
     parser.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
     parser.add_argument("--seed", type=int, default=42)
@@ -82,6 +110,25 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="where 'bench' writes its JSON report",
     )
+    parser.add_argument(
+        "--nodes",
+        default=None,
+        metavar="GPUS",
+        help="cluster-bench: comma-separated per-node GPU types, e.g. V100,A100,T4",
+    )
+    parser.add_argument(
+        "--policies",
+        default=None,
+        metavar="POLICIES",
+        help="cluster-bench: comma-separated placement policies "
+        "(binpack, spread, affinity; default: all)",
+    )
+    parser.add_argument(
+        "--cluster-output",
+        default="BENCH_cluster.json",
+        metavar="PATH",
+        help="where 'cluster-bench' writes its JSON report",
+    )
     args = parser.parse_args(argv)
     if args.replicates < 1:
         parser.error(f"--replicates must be >= 1, got {args.replicates}")
@@ -90,19 +137,49 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.experiment == "bench":
         return _cmd_bench(args.quick, args.jobs, args.bench_output)
+    if args.experiment == "cluster-bench":
+        from repro.experiments.fig14_cluster import DEFAULT_NODES, QUICK_NODES
+        from repro.gpu.specs import GPU_CATALOG
+        from repro.scheduler.mra import PLACEMENT_POLICIES
+
+        if args.nodes is None:
+            nodes = list(QUICK_NODES if args.quick else DEFAULT_NODES)
+        else:
+            nodes = [n.upper() for n in _split_csv(args.nodes)]
+        if len(nodes) < 1:
+            parser.error("--nodes needs at least one GPU type")
+        for name in nodes:
+            if name not in GPU_CATALOG:
+                parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
+        policies = list(PLACEMENT_POLICIES) if args.policies is None else _split_csv(args.policies)
+        if not policies:
+            parser.error("--policies needs at least one policy")
+        for policy in policies:
+            if policy not in PLACEMENT_POLICIES:
+                parser.error(f"unknown policy {policy!r}; known: {PLACEMENT_POLICIES}")
+        return _cmd_cluster_bench(args.quick, args.seed, nodes, policies, args.cluster_output)
 
     names = runner.experiment_names() if args.experiment == "all" else [args.experiment]
-    results = runner.iter_suite(
-        names,
-        seed=args.seed,
-        quick=args.quick,
-        jobs=args.jobs,
-        replicates=args.replicates,
-    )
-    for result in results:
-        print(result.output)
-        tag = result.name if result.replicate == 0 else f"{result.name} r{result.replicate}"
-        print(f"[{tag} finished in {result.elapsed:.1f}s]\n")
+    try:
+        results = runner.iter_suite(
+            names,
+            seed=args.seed,
+            quick=args.quick,
+            jobs=args.jobs,
+            replicates=args.replicates,
+        )
+        for result in results:
+            print(result.output)
+            tag = result.name if result.replicate == 0 else f"{result.name} r{result.replicate}"
+            print(f"[{tag} finished in {result.elapsed:.1f}s]\n")
+    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+        return 0
+    except Exception as exc:  # experiment blew up: fail loudly, exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: {args.experiment}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -52,7 +52,6 @@ class Fig13Result:
 
 
 def _measure_bar(model_name: str, seed: int) -> Fig13Bar:
-    model = get_model(model_name)
     # Original: one pod, no sharing.
     plain = FaSTGShare.build(nodes=1, sharing="fast", seed=seed)
     plain.register_function("fn", model=model_name, model_sharing=False)

@@ -1,0 +1,295 @@
+"""Fig. 14 (extension) — cluster-scale trace replay on heterogeneous GPUs.
+
+The paper evaluates one node and a handful of functions under synthetic
+Poisson load; its scheduler (§3.4) and the Maximal Rectangles placement are
+nonetheless designed for *cluster-wide* spatio-temporal packing.  This
+experiment opens that regime: a mixed fleet of DNN services with
+production-shaped arrivals (diurnal tide, flash-crowd bursts, cold-heavy
+tails — see :mod:`repro.faas.traces`) is replayed over a cluster of
+**heterogeneous GPU nodes** (per-node GPU type, SM count, memory, serving
+speed) under several node-scoring policies:
+
+* ``binpack``  — the paper's global best-area matching (fewest GPUs);
+* ``spread``   — least-allocated node first (isolation headroom);
+* ``affinity`` — GPU-type affinity: fastest device type that fits.
+
+Every policy replays the *same* trace set from the same seed, so the
+reported SLO-violation rate, GPU count, and utilization differences are
+attributable to placement alone.  ``python -m repro cluster-bench`` runs
+this and writes ``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.faas.loadgen import OpenLoopGenerator
+from repro.faas.traces import TraceSet, synthesize_trace_set
+from repro.gpu.specs import gpu_spec
+from repro.models import MODEL_ZOO
+from repro.models.scaling import gpu_type_factor
+from repro.platform import FaSTGShare
+from repro.profiler import ProfileDatabase
+from repro.scheduler.mra import PLACEMENT_POLICIES
+
+#: (function, model, trace shape, mean rps) — the default service fleet.
+#: Shapes cover the three production regimes; loads are sized so the full
+#: fleet stresses (but does not drown) a 4-node heterogeneous cluster.
+CLUSTER_FLEET: tuple[tuple[str, str, str, float], ...] = (
+    ("resnet-api", "resnet50", "diurnal", 30.0),
+    ("bert-qa", "bert", "bursty", 8.0),
+    ("rnnt-dictate", "rnnt", "diurnal", 3.0),
+    ("gnmt-translate", "gnmt", "cold", 4.0),
+    ("resnet152-batch", "resnet152", "bursty", 6.0),
+    ("vit-tagging", "vit_huge", "cold", 1.0),
+)
+
+#: Default heterogeneous node sets (GPU type per node).
+DEFAULT_NODES: tuple[str, ...] = ("V100", "V100", "A100", "T4")
+QUICK_NODES: tuple[str, ...] = ("V100", "A100", "T4")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PolicyOutcome:
+    """Replay metrics of one placement policy over the shared trace set."""
+
+    policy: str
+    submitted: int
+    completed: int
+    slo_violation_ratio: float
+    per_function_violations: dict[str, float]
+    p95_ms: float
+    peak_gpus: int
+    mean_gpus: float
+    mean_alloc_fraction: float
+    node_utilization: dict[str, float]
+    scale_ups: int
+    scale_downs: int
+    nofit_events: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClusterResult:
+    """All policies' outcomes plus the replayed-trace metadata."""
+
+    nodes: tuple[str, ...]
+    node_factors: dict[str, float]
+    functions: tuple[tuple[str, str, str, float], ...]
+    trace_seed: int
+    bins: int
+    bin_s: float
+    duration: float
+    outcomes: tuple[PolicyOutcome, ...]
+
+    def outcome(self, policy: str) -> PolicyOutcome:
+        for out in self.outcomes:
+            if out.policy == policy:
+                return out
+        raise KeyError(f"no outcome for policy {policy!r}")
+
+
+def _replay_policy(
+    trace_set: TraceSet,
+    nodes: _t.Sequence[str],
+    policy: str,
+    seed: int,
+    interval: float,
+    sample_dt: float = 1.0,
+) -> PolicyOutcome:
+    """Replay the trace set on a fresh platform under one placement policy."""
+    platform = FaSTGShare.build(nodes=nodes, sharing="fast", seed=seed)
+    slo_by_function: dict[str, float] = {}
+    models = {}
+    for trace in trace_set.traces:
+        # Model sharing keeps trace-burst scale-ups warm-start cheap (the
+        # paper's architecture point; without it cold-tail functions pay a
+        # full model load on every flash crowd).
+        spec = platform.register_function(trace.function, model=trace.model, model_sharing=True)
+        slo_by_function[trace.function] = spec.slo_ms
+        models[trace.function] = MODEL_ZOO[trace.model]
+    database = ProfileDatabase.analytic(models)
+    scheduler = platform.start_autoscaler(
+        database,
+        interval=interval,
+        headroom=1.3,
+        scale_down_cooldown=8.0,
+        placement_policy=policy,
+    )
+    scheduler.down_hysteresis = 0.3
+
+    # One warm pod per function at its efficient point, placed through the
+    # scheduler so the policy owns every rectangle from the start.
+    for trace in trace_set.traces:
+        p_eff = scheduler.scaler.p_eff(trace.function)
+        scheduler.place_pod(
+            platform.controllers[trace.function], p_eff.sm_partition, p_eff.quota, p_eff.quota
+        )
+    platform.wait_ready()
+
+    engine = platform.engine
+    t0 = engine.now
+    platform.cluster.reset_metrics()
+    for trace in trace_set.traces:
+        OpenLoopGenerator(engine, platform.gateway, trace.function, trace.to_workload())
+
+    horizon = trace_set.duration
+    samples: list[tuple[int, dict[str, float]]] = []
+
+    def sample() -> None:
+        samples.append(
+            (scheduler.placement.gpus_in_use(), scheduler.placement.utilized_area_by_node())
+        )
+        if engine.now < t0 + horizon:
+            engine.schedule(sample_dt, sample)
+
+    engine.schedule(sample_dt, sample)
+    engine.run(until=t0 + horizon + 2.0)
+    scheduler.stop()
+
+    log = platform.gateway.log.in_window(t0, engine.now)
+    per_function: dict[str, float] = {}
+    violated = 0
+    total = 0
+    for trace in trace_set.traces:
+        flog = log.for_function(trace.function)
+        lat = flog.latencies_ms()
+        slo = slo_by_function[trace.function]
+        over = int((lat > slo).sum()) if lat.size else 0
+        per_function[trace.function] = over / lat.size if lat.size else 0.0
+        violated += over
+        total += int(lat.size)
+
+    gpu_counts = [count for count, _ in samples]
+    alloc_fractions = [
+        sum(areas.values()) / max(1, len([a for a in areas.values() if a > 0]))
+        for _, areas in samples
+        if any(a > 0 for a in areas.values())
+    ]
+    submitted = sum(platform.gateway.submitted[t.function] for t in trace_set.traces)
+    return PolicyOutcome(
+        policy=policy,
+        submitted=submitted,
+        completed=total,
+        slo_violation_ratio=violated / total if total else 0.0,
+        per_function_violations=per_function,
+        p95_ms=log.latency_percentile_ms(95),
+        peak_gpus=max(gpu_counts) if gpu_counts else 0,
+        mean_gpus=sum(gpu_counts) / len(gpu_counts) if gpu_counts else 0.0,
+        mean_alloc_fraction=(
+            sum(alloc_fractions) / len(alloc_fractions) if alloc_fractions else 0.0
+        ),
+        node_utilization={name: util for name, util, _ in platform.cluster.node_metrics()},
+        scale_ups=sum(1 for e in scheduler.events if e.action == "up"),
+        scale_downs=sum(1 for e in scheduler.events if e.action == "down"),
+        nofit_events=sum(1 for e in scheduler.events if e.action == "nofit"),
+    )
+
+
+def run(
+    quick: bool = False,
+    seed: int = 42,
+    nodes: _t.Sequence[str] | None = None,
+    policies: _t.Sequence[str] | None = None,
+    bins: int | None = None,
+    bin_s: float | None = None,
+    fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
+) -> ClusterResult:
+    """Replay a production-shaped trace set under each placement policy."""
+    if nodes is None:
+        nodes = QUICK_NODES if quick else DEFAULT_NODES
+    if policies is None:
+        policies = PLACEMENT_POLICIES
+    for policy in policies:
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {PLACEMENT_POLICIES}")
+    if fleet is None:
+        fleet = CLUSTER_FLEET[:4] if quick else CLUSTER_FLEET
+    if bins is None:
+        bins = 10 if quick else 24
+    if bin_s is None:
+        bin_s = 3.0 if quick else 10.0
+    interval = 0.5 if quick else 1.0
+
+    trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
+    outcomes = tuple(
+        _replay_policy(trace_set, nodes, policy, seed, interval) for policy in policies
+    )
+    node_factors = {f"node{i}": gpu_type_factor(gpu_spec(name)) for i, name in enumerate(nodes)}
+    return ClusterResult(
+        nodes=tuple(nodes),
+        node_factors=node_factors,
+        functions=tuple(fleet),
+        trace_seed=seed,
+        bins=bins,
+        bin_s=bin_s,
+        duration=trace_set.duration,
+        outcomes=outcomes,
+    )
+
+
+def format_result(result: ClusterResult) -> str:
+    lines = [
+        "Fig. 14 — cluster-scale trace replay across heterogeneous GPUs",
+        f"  nodes: {', '.join(result.nodes)}   "
+        f"(speed factors {', '.join(f'{f:.2f}' for f in result.node_factors.values())})",
+        f"  fleet: {len(result.functions)} functions, trace {result.bins}x{result.bin_s:.0f}s "
+        f"bins, seed {result.trace_seed}",
+        "  policy    SLO-viol%   p95(ms)   peak GPUs  mean GPUs  alloc%  ups/downs/nofit",
+    ]
+    for out in result.outcomes:
+        lines.append(
+            f"  {out.policy:<9} {100 * out.slo_violation_ratio:8.2f}  {out.p95_ms:8.1f} "
+            f"{out.peak_gpus:10d} {out.mean_gpus:10.2f} "
+            f"{100 * out.mean_alloc_fraction:6.1f}  "
+            f"{out.scale_ups}/{out.scale_downs}/{out.nofit_events}"
+        )
+    for out in result.outcomes:
+        worst = max(out.per_function_violations.items(), key=lambda kv: kv[1])
+        lines.append(
+            f"  [{out.policy}] completed {out.completed}/{out.submitted}, "
+            f"worst function {worst[0]} at {100 * worst[1]:.2f}% violations"
+        )
+    return "\n".join(lines)
+
+
+def report_payload(result: ClusterResult) -> dict:
+    """The ``BENCH_cluster.json`` payload for one run."""
+    return {
+        "benchmark": "cluster",
+        "nodes": list(result.nodes),
+        "node_factors": result.node_factors,
+        "functions": [
+            {"function": f, "model": m, "shape": s, "mean_rps": r}
+            for f, m, s, r in result.functions
+        ],
+        "trace": {"seed": result.trace_seed, "bins": result.bins, "bin_s": result.bin_s},
+        "duration_s": result.duration,
+        "policies": {
+            out.policy: {
+                "slo_violation_ratio": out.slo_violation_ratio,
+                "per_function_violations": out.per_function_violations,
+                "p95_ms": out.p95_ms,
+                "peak_gpus": out.peak_gpus,
+                "mean_gpus": out.mean_gpus,
+                "mean_alloc_fraction": out.mean_alloc_fraction,
+                "node_utilization": out.node_utilization,
+                "submitted": out.submitted,
+                "completed": out.completed,
+                "scale_ups": out.scale_ups,
+                "scale_downs": out.scale_downs,
+                "nofit_events": out.nofit_events,
+            }
+            for out in result.outcomes
+        },
+    }
+
+
+def write_cluster_report(path: str, result: ClusterResult) -> dict:
+    """Serialize :func:`report_payload` to ``path``; returns the payload."""
+    payload = report_payload(result)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

@@ -39,6 +39,7 @@ from repro.experiments import (
     fig11_scheduler,
     fig12_autoscaling,
     fig13_modelsharing,
+    fig14_cluster,
     headline,
 )
 
@@ -51,6 +52,7 @@ SIMPLE_EXPERIMENTS: dict[str, _t.Any] = {
     "fig11": fig11_scheduler,
     "fig12": fig12_autoscaling,
     "fig13": fig13_modelsharing,
+    "fig14": fig14_cluster,
     "headline": headline,
 }
 

@@ -9,6 +9,9 @@
   ready replicas, RPS observation/prediction for the auto-scaler;
 * :mod:`repro.faas.workload` — arrival processes (constant, Poisson, stepped
   traces) mirroring the paper's k6 load shapes;
+* :mod:`repro.faas.traces` — production-shaped invocation-count traces
+  (Azure-Functions style: diurnal / bursty / cold-tail), synthesized
+  deterministically, JSON-serializable, replayable as workloads;
 * :mod:`repro.faas.loadgen` — open-loop and closed-loop load generation;
 * :mod:`repro.faas.slo` — SLO violation analytics (paper Fig. 12).
 """
@@ -19,6 +22,15 @@ from repro.faas.loadgen import ClosedLoopClient, OpenLoopGenerator
 from repro.faas.replica import FunctionReplica
 from repro.faas.requests import Request, RequestLog
 from repro.faas.slo import latency_percentile, violation_ratio, violation_series
+from repro.faas.traces import (
+    TRACE_SHAPES,
+    FunctionTrace,
+    TraceSet,
+    TraceWorkload,
+    load_trace_set,
+    synthesize_trace,
+    synthesize_trace_set,
+)
 from repro.faas.workload import ConstantRate, PoissonRate, ReplayTrace, StepTrace, Workload
 
 __all__ = [
@@ -27,6 +39,7 @@ __all__ = [
     "FunctionRegistry",
     "FunctionReplica",
     "FunctionSpec",
+    "FunctionTrace",
     "Gateway",
     "OpenLoopGenerator",
     "PoissonRate",
@@ -34,8 +47,14 @@ __all__ = [
     "Request",
     "RequestLog",
     "StepTrace",
+    "TRACE_SHAPES",
+    "TraceSet",
+    "TraceWorkload",
     "Workload",
     "latency_percentile",
+    "load_trace_set",
+    "synthesize_trace",
+    "synthesize_trace_set",
     "violation_ratio",
     "violation_series",
 ]

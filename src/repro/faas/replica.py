@@ -97,7 +97,10 @@ class FunctionReplica:
                 self.in_flight = request
                 request.start = self.engine.now
                 request.replica_id = self.replica_id
-                plan = model.make_plan(self.partition, self.rng)
+                plan = model.make_plan(
+                    self.partition, self.rng,
+                    gpu_factor=getattr(self.container, "speed_factor", 1.0),
+                )
                 yield from self.container.hook.run_plan(plan)
                 request.end = self.engine.now
                 self.in_flight = None

@@ -13,27 +13,49 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 
 class Cluster:
-    """Node inventory + pod directory (the API-server slice we need)."""
+    """Node inventory + pod directory (the API-server slice we need).
+
+    ``nodes`` is either an integer (that many identical ``gpu`` nodes — the
+    paper's homogeneous 4×V100 testbed) or a sequence of per-node GPU types
+    (names or :class:`~repro.gpu.specs.GPUSpec`), which builds a
+    **heterogeneous** cluster: each node carries its own SM count, memory
+    size, and serving-speed factor (see
+    :func:`repro.models.scaling.gpu_type_factor`).
+    """
 
     def __init__(
         self,
         engine: "Engine",
-        nodes: int = 1,
+        nodes: int | _t.Sequence[str | GPUSpec] = 1,
         gpu: str | GPUSpec = "V100",
         sharing_mode: str = "fast",
         window: float = 0.1,
     ):
-        if nodes < 1:
-            raise ValueError("cluster needs at least one node")
-        spec = gpu if isinstance(gpu, GPUSpec) else gpu_spec(gpu)
+        if isinstance(nodes, int):
+            if nodes < 1:
+                raise ValueError("cluster needs at least one node")
+            node_gpus: list[str | GPUSpec] = [gpu] * nodes
+        else:
+            node_gpus = list(nodes)
+            if not node_gpus:
+                raise ValueError("cluster needs at least one node")
+        specs = [g if isinstance(g, GPUSpec) else gpu_spec(g) for g in node_gpus]
         self.engine = engine
         self.sharing_mode = sharing_mode
         self.nodes: list[GPUNode] = [
             GPUNode(engine, f"node{i}", spec, sharing_mode=sharing_mode, window=window)
-            for i in range(nodes)
+            for i, spec in enumerate(specs)
         ]
         self._by_name = {node.name: node for node in self.nodes}
         self.pods: dict[str, Pod] = {}
+
+    @property
+    def heterogeneous(self) -> bool:
+        return len({node.spec.name for node in self.nodes}) > 1
+
+    def speed_factors(self) -> dict[str, float]:
+        """Per-node GPU-type speed factors (node-scoring input)."""
+        return {node.name: node.speed_factor for node in self.nodes}
 
     def node(self, name_or_index: str | int) -> GPUNode:
         if isinstance(name_or_index, int):

@@ -49,11 +49,14 @@ class Container:
         store_lib: ModelStoreLib | None,
         frontend: FaSTFrontend | None,
         teardown: _t.Callable[[], None],
+        speed_factor: float = 1.0,
     ):
         self.pod = pod
         self.hook = hook
         self.store_lib = store_lib
         self.frontend = frontend
+        #: GPU-type speed relative to the V100 profiles (hetero clusters).
+        self.speed_factor = speed_factor
         self._teardown = teardown
         self.closed = False
 
@@ -76,9 +79,15 @@ class GPUNode:
     ):
         if sharing_mode not in SHARING_MODES:
             raise NodeError(f"unknown sharing mode {sharing_mode!r}; known: {SHARING_MODES}")
+        from repro.models.scaling import gpu_type_factor  # local: avoid import cycle
+
         self.engine = engine
         self.name = name
         self.sharing_mode = sharing_mode
+        self.spec = spec
+        #: Serving speed of this node's GPU type relative to the V100 the
+        #: model profiles were calibrated on (constant per spec).
+        self.speed_factor = gpu_type_factor(spec)
         self.device = GPUDevice(engine, spec, name=f"{name}/gpu0")
         self.driver = CudaDriver(engine, self.device)
         # DaemonSet: one MPS server container per node (only used by `fast`).
@@ -163,7 +172,10 @@ class GPUNode:
                     store_lib.release_all()
                 frontend.close()
 
-            return Container(pod, frontend.hook, store_lib, frontend, teardown)
+            return Container(
+                pod, frontend.hook, store_lib, frontend, teardown,
+                speed_factor=self.speed_factor,
+            )
 
         # racing / exclusive: unmanaged direct access.
         self.device.memory.allocate(pod.pod_id, spec.gpu_mem_mb)
@@ -177,7 +189,7 @@ class GPUNode:
             self.driver.destroy_context(ctx)
             self.device.memory.release_owner(pod.pod_id)
 
-        return Container(pod, hook, store_lib, None, teardown)
+        return Container(pod, hook, store_lib, None, teardown, speed_factor=self.speed_factor)
 
     def _make_store_lib(self, pod: Pod, ctx) -> ModelStoreLib:
         return ModelStoreLib(self.engine, self.model_storage, self.driver, ctx, pod.pod_id)

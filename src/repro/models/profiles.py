@@ -115,22 +115,33 @@ class ModelProfile:
         """Expected request latency on an idle GPU at full time quota."""
         return self.gpu_time_ms / 1000.0 / self.scale(partition_pct) + self.host_time_ms / 1000.0
 
-    def expected_rate(self, partition_pct: float, quota: float = 1.0) -> float:
+    def expected_rate(
+        self, partition_pct: float, quota: float = 1.0, gpu_factor: float = 1.0
+    ) -> float:
         """Analytic saturated throughput (req/s) at (S, Q).
 
         Temporal quota caps GPU residency per wall second at ``quota``; the
         closed-loop serve path additionally pays host time per request.  The
-        binding constraint is whichever is smaller.
+        binding constraint is whichever is smaller.  ``gpu_factor`` rescales
+        the calibrated GPU time for a non-V100 device (see
+        :func:`repro.models.scaling.gpu_type_factor`); host time is CPU-side
+        and does not scale with the GPU type.
         """
         if not 0 < quota <= 1.0:
             raise ValueError(f"quota {quota} outside (0, 1]")
-        gpu_s = self.gpu_time_ms / 1000.0 / self.scale(partition_pct)
+        if gpu_factor <= 0:
+            raise ValueError(f"gpu_factor {gpu_factor} must be positive")
+        gpu_s = self.gpu_time_ms / 1000.0 / self.scale(partition_pct) / gpu_factor
         quota_bound = quota / gpu_s
         duty_bound = 1.0 / (gpu_s + self.host_time_ms / 1000.0)
         return min(quota_bound, duty_bound)
 
     def expected_latency_s(
-        self, partition_pct: float, quota: float = 1.0, window: float = 0.1
+        self,
+        partition_pct: float,
+        quota: float = 1.0,
+        window: float = 0.1,
+        gpu_factor: float = 1.0,
     ) -> float:
         """Queue-free *tail* latency bound at (S, Q).
 
@@ -145,7 +156,9 @@ class ModelProfile:
             raise ValueError(f"quota {quota} outside (0, 1]")
         if window <= 0:
             raise ValueError("window must be positive")
-        gpu_s = self.gpu_time_ms / 1000.0 / self.scale(partition_pct)
+        if gpu_factor <= 0:
+            raise ValueError(f"gpu_factor {gpu_factor} must be positive")
+        gpu_s = self.gpu_time_ms / 1000.0 / self.scale(partition_pct) / gpu_factor
         stalls = 0 if quota >= 1.0 else math.ceil(gpu_s / (quota * window))
         return gpu_s + stalls * (1.0 - quota) * window + self.host_time_ms / 1000.0
 
@@ -159,15 +172,21 @@ class ModelProfile:
         self,
         partition_pct: float,
         rng: np.random.Generator | None = None,
+        gpu_factor: float = 1.0,
     ) -> InferencePlan:
         """Generate the kernel-burst plan of one request at ``partition_pct``.
 
         With ``rng=None`` the plan is deterministic (used by the profiler's
         repeatability tests); otherwise per-request lognormal jitter with the
         profile's CV is applied to the GPU time and burst split.
+        ``gpu_factor`` rescales the calibrated GPU-resident time for the
+        device type the pod landed on (1.0 = the V100 the zoo was profiled
+        on); host gaps are CPU-side and stay fixed.
         """
+        if gpu_factor <= 0:
+            raise ValueError(f"gpu_factor {gpu_factor} must be positive")
         scale = self.scale(partition_pct)
-        total_gpu = self.gpu_time_ms / 1000.0 / scale
+        total_gpu = self.gpu_time_ms / 1000.0 / scale / gpu_factor
         weights = np.full(self.n_bursts, 1.0 / self.n_bursts)
         if rng is not None and self.jitter_cv > 0:
             sigma = math.sqrt(math.log(1.0 + self.jitter_cv**2))

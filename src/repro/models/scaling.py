@@ -12,6 +12,29 @@ from __future__ import annotations
 
 import typing as _t
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.specs import GPUSpec
+
+#: The device every zoo profile was calibrated on (the paper's testbed GPU).
+CALIBRATION_GPU = "V100"
+_CALIBRATION_TFLOPS = 15.7
+_CALIBRATION_SM_COUNT = 80
+
+
+def gpu_type_factor(spec: "GPUSpec") -> float:
+    """Per-GPU-type profile scaling: serving speed relative to the V100.
+
+    The zoo's timing constants (``gpu_time_ms``, scaling anchors) are
+    calibrated on the paper's V100 testbed.  On a heterogeneous cluster a
+    pod's kernels run faster or slower in proportion to the device's compute
+    throughput; we scale by peak FP32 rate when the catalogue records it and
+    fall back to the SM-count ratio otherwise.  A plan's GPU-resident time on
+    device ``d`` is the calibrated time divided by this factor.
+    """
+    if spec.fp32_tflops > 0:
+        return spec.fp32_tflops / _CALIBRATION_TFLOPS
+    return spec.sm_count / _CALIBRATION_SM_COUNT
+
 
 def interpolate_anchors(anchors: _t.Mapping[float, float], partition_pct: float) -> float:
     """Relative processing rate (0..1] at ``partition_pct``% of SMs.

@@ -47,9 +47,14 @@ from repro.sim.engine import Engine
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class PlatformConfig:
-    """Construction parameters of one platform instance."""
+    """Construction parameters of one platform instance.
 
-    nodes: int = 1
+    ``nodes`` is an integer (homogeneous ``gpu`` nodes) or a tuple of
+    per-node GPU type names for a heterogeneous cluster, e.g.
+    ``("V100", "A100", "T4")``.
+    """
+
+    nodes: int | tuple[str, ...] = 1
     gpu: str = "V100"
     sharing: str = "fast"
     window: float = 0.1
@@ -106,19 +111,23 @@ class FaSTGShare:
         self.scheduler: FaSTScheduler | None = None
         # Placement state for the manual deploy() paths.
         node_names = [n.name for n in self.cluster.nodes]
-        self._mra = MaximalRectanglesScheduler(node_names)
+        self._mra = MaximalRectanglesScheduler(
+            node_names, node_factors=self.cluster.speed_factors()
+        )
         self._quota_packer = QuotaPackingScheduler(node_names)
         self._device_plugin = DevicePlugin(self.cluster)
 
     @classmethod
     def build(
         cls,
-        nodes: int = 1,
+        nodes: int | _t.Sequence[str] = 1,
         gpu: str = "V100",
         sharing: str = "fast",
         window: float = 0.1,
         seed: int = 42,
     ) -> "FaSTGShare":
+        if not isinstance(nodes, int):
+            nodes = tuple(nodes)
         return cls(PlatformConfig(nodes=nodes, gpu=gpu, sharing=sharing, window=window, seed=seed))
 
     # -- function management ------------------------------------------------------
@@ -238,6 +247,7 @@ class FaSTGShare:
         scale_down_cooldown: float = 6.0,
         min_replicas: int = 1,
         latency_headroom: float = 0.6,
+        placement_policy: str = "binpack",
     ) -> FaSTScheduler:
         """Attach and start the FaST-Scheduler over the given profile DB."""
         self.profile_db = database
@@ -252,6 +262,7 @@ class FaSTGShare:
             scale_down_cooldown=scale_down_cooldown,
             min_replicas=min_replicas,
             latency_headroom=latency_headroom,
+            placement_policy=placement_policy,
         )
         self.scheduler.start()
         return self.scheduler
@@ -291,7 +302,7 @@ class FaSTGShare:
             self.wait_ready(function)
         t0 = self.engine.now
         self.cluster.reset_metrics()
-        generator = OpenLoopGenerator(self.engine, self.gateway, function, workload)
+        OpenLoopGenerator(self.engine, self.gateway, function, workload)
         self.engine.run(until=t0 + workload.duration)
         return self._report(function, t0, self.engine.now, self.gateway.submitted[function])
 

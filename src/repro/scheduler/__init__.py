@@ -19,13 +19,25 @@ from repro.scheduler.autoscale import (
     ScaleDownAction,
     ScaleUpAction,
 )
-from repro.scheduler.mra import GPURectangleList, MaximalRectanglesScheduler, NoFitError
+from repro.scheduler.mra import (
+    PLACEMENT_POLICIES,
+    GPURectangleList,
+    MaximalRectanglesScheduler,
+    NoFitError,
+)
 from repro.scheduler.placement_baselines import (
     FirstFitRectScheduler,
     GuillotineRectangleList,
     QuotaPackingScheduler,
 )
-from repro.scheduler.rectangles import Rect, prune_contained, subtract
+from repro.scheduler.rectangles import (
+    Rect,
+    pairwise_disjoint,
+    prune_contained,
+    subtract,
+    total_area,
+    within_bounds,
+)
 from repro.scheduler.scheduler import FaSTScheduler
 
 __all__ = [
@@ -36,11 +48,15 @@ __all__ = [
     "HeuristicScaler",
     "MaximalRectanglesScheduler",
     "NoFitError",
+    "PLACEMENT_POLICIES",
     "QuotaPackingScheduler",
     "Rect",
     "RunningPod",
     "ScaleDownAction",
     "ScaleUpAction",
+    "pairwise_disjoint",
     "prune_contained",
     "subtract",
+    "total_area",
+    "within_bounds",
 ]

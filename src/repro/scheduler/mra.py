@@ -138,17 +138,55 @@ class GPURectangleList:
         self.free = free
 
 
-class MaximalRectanglesScheduler:
-    """Cluster-level node selection over per-GPU rectangle lists."""
+#: Cluster node-scoring policies:
+#:
+#: * ``binpack``  — the paper's Algorithm 2: global best matching by minimum
+#:   area gap, concentrating pods onto as few GPUs as possible;
+#: * ``spread``   — least-allocated node first (per-node 2D utilization),
+#:   trading GPU count for isolation headroom;
+#: * ``affinity`` — GPU-type affinity: fastest GPU type (highest speed
+#:   factor) that fits wins, falling back to the bin-pack key among equals.
+PLACEMENT_POLICIES = ("binpack", "spread", "affinity")
 
-    def __init__(self, node_names: _t.Sequence[str], restructure_threshold: int = 24):
+
+class MaximalRectanglesScheduler:
+    """Cluster-level node selection over per-GPU rectangle lists.
+
+    ``policy`` selects the node-scoring rule (:data:`PLACEMENT_POLICIES`);
+    ``node_factors`` supplies per-node GPU-type speed factors for the
+    ``affinity`` policy (missing nodes default to 1.0, the V100 baseline).
+    """
+
+    def __init__(
+        self,
+        node_names: _t.Sequence[str],
+        restructure_threshold: int = 24,
+        policy: str = "binpack",
+        node_factors: _t.Mapping[str, float] | None = None,
+    ):
         if not node_names:
             raise ValueError("need at least one node")
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(f"unknown placement policy {policy!r}; known: {PLACEMENT_POLICIES}")
+        self.policy = policy
+        self.node_factors = dict(node_factors or {})
         self.gpus: dict[str, GPURectangleList] = {
             name: GPURectangleList(restructure_threshold=restructure_threshold)
             for name in node_names
         }
         self._bindings: dict[str, str] = {}  # pod -> node
+
+    # -- node scoring -----------------------------------------------------------
+    def _score(self, name: str, gpu: GPURectangleList, rect: Rect, w: float, h: float):
+        """Smaller-is-better sort key for (node, rect) under the policy."""
+        binpack_key = (rect.area - w * h, rect.x, name)
+        if self.policy == "binpack":
+            return binpack_key
+        if self.policy == "spread":
+            allocated = gpu.used_area() / (gpu.width * gpu.height)
+            return (allocated, *binpack_key)
+        # affinity: fastest GPU type first, bin-pack among equal types.
+        return (-self.node_factors.get(name, 1.0), *binpack_key)
 
     # -- Algorithm 2 ------------------------------------------------------------
     def select_node(
@@ -157,21 +195,21 @@ class MaximalRectanglesScheduler:
         h: float,
         allowed: _t.Callable[[str], bool] | None = None,
     ) -> tuple[str, Rect] | None:
-        """Global best matching: the (node, rect) minimising the area gap.
+        """Policy-scored node selection (default: global best matching).
 
         ``allowed`` filters nodes by out-of-band constraints (e.g. GPU
         memory).  Returns None when no rectangle fits anywhere — the paper's
         "a new GPU required".
         """
         best: tuple[str, Rect] | None = None
-        best_key: tuple[float, float, str] | None = None
+        best_key = None
         for name, gpu in self.gpus.items():
             if allowed is not None and not allowed(name):
                 continue
             rect = gpu.best_fit(w, h)
             if rect is None:
                 continue
-            key = (rect.area - w * h, rect.x, name)
+            key = self._score(name, gpu, rect, w, h)
             if best_key is None or key < best_key:
                 best, best_key = (name, rect), key
         return best

@@ -20,12 +20,27 @@ from repro.scheduler.rectangles import EPS, Rect
 
 
 class QuotaPackingScheduler:
-    """1D (time-quota only) first-fit packing across GPUs."""
+    """1D (time-quota only) first-fit packing across GPUs.
 
-    def __init__(self, node_names: _t.Sequence[str], capacity: float = 1.0):
+    ``capacities`` optionally overrides the per-node quota capacity (a
+    heterogeneous cluster where some nodes host bigger/multi-context GPUs);
+    nodes not listed keep the uniform ``capacity``.
+    """
+
+    def __init__(
+        self,
+        node_names: _t.Sequence[str],
+        capacity: float = 1.0,
+        capacities: _t.Mapping[str, float] | None = None,
+    ):
         if not node_names:
             raise ValueError("need at least one node")
-        self.capacity = capacity
+        self.capacities: dict[str, float] = {
+            name: (capacities or {}).get(name, capacity) for name in node_names
+        }
+        if any(c <= 0 for c in self.capacities.values()):
+            raise ValueError("node quota capacities must be positive")
+        self._max_capacity = max(self.capacities.values())
         self.load: dict[str, float] = {name: 0.0 for name in node_names}
         self._bindings: dict[str, tuple[str, float]] = {}
 
@@ -33,10 +48,10 @@ class QuotaPackingScheduler:
         """Place by quota; returns the node name (first fit)."""
         if pod_id in self._bindings:
             raise ValueError(f"pod {pod_id} already bound")
-        if not 0 < quota <= self.capacity:
-            raise ValueError(f"quota {quota} outside (0, {self.capacity}]")
+        if not 0 < quota <= self._max_capacity:
+            raise ValueError(f"quota {quota} outside (0, {self._max_capacity}]")
         for name, used in self.load.items():
-            if used + quota <= self.capacity + EPS:
+            if used + quota <= self.capacities[name] + EPS:
                 self.load[name] = used + quota
                 self._bindings[pod_id] = (name, quota)
                 return name
@@ -109,13 +124,26 @@ class GuillotineRectangleList:
 
 
 class FirstFitRectScheduler:
-    """2D placement: first node whose list has any fitting rectangle."""
+    """2D placement: first node whose list has any fitting rectangle.
 
-    def __init__(self, node_names: _t.Sequence[str]):
+    With ``node_factors`` (per-node GPU-type speed factors) the first-fit
+    scan visits faster GPU types first — a cheap GPU-type-affinity baseline
+    for heterogeneous clusters; without it, nodes are scanned in the given
+    order.
+    """
+
+    def __init__(
+        self,
+        node_names: _t.Sequence[str],
+        node_factors: _t.Mapping[str, float] | None = None,
+    ):
         from repro.scheduler.mra import GPURectangleList  # same geometry
 
+        names = list(node_names)
+        if node_factors is not None:
+            names.sort(key=lambda n: (-node_factors.get(n, 1.0), n))
         self.gpus: dict[str, GPURectangleList] = {
-            name: GPURectangleList() for name in node_names
+            name: GPURectangleList() for name in names
         }
         self._bindings: dict[str, str] = {}
 

@@ -13,6 +13,7 @@ primitives of the Maximal Rectangles Algorithm:
 from __future__ import annotations
 
 import dataclasses
+import typing as _t
 
 #: Geometric tolerance: resource percentages are well above this scale.
 EPS = 1e-9
@@ -117,3 +118,28 @@ def prune_contained(rects: list[Rect]) -> list[Rect]:
 def covered(rects: list[Rect], px: float, py: float) -> bool:
     """Is the point covered by any rectangle? (test helper for coverage)."""
     return any(r.contains_point(px, py) for r in rects)
+
+
+def total_area(rects: _t.Iterable[Rect]) -> float:
+    """Sum of rectangle areas (exact for disjoint sets, e.g. placed pods)."""
+    return sum(r.area for r in rects)
+
+
+def pairwise_disjoint(rects: _t.Sequence[Rect]) -> bool:
+    """True if no two rectangles overlap with positive area.
+
+    Placed pod rectangles must always satisfy this — overlap would mean two
+    pods were granted the same quota×SM resource (an over-commit).  Used by
+    the cluster-placement property tests and debug assertions.
+    """
+    for i, a in enumerate(rects):
+        for b in rects[i + 1 :]:
+            if a.intersects(b):
+                return False
+    return True
+
+
+def within_bounds(rects: _t.Iterable[Rect], width: float, height: float) -> bool:
+    """True if every rectangle lies inside the ``width × height`` GPU box."""
+    box = Rect(0.0, 0.0, width, height)
+    return all(box.contains(r) for r in rects)

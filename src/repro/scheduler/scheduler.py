@@ -67,6 +67,7 @@ class FaSTScheduler:
         latency_headroom: float = 0.6,
         down_hysteresis: float = 0.10,
         max_down_per_tick: int = 1,
+        placement_policy: str = "binpack",
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -86,10 +87,20 @@ class FaSTScheduler:
         self.down_hysteresis = down_hysteresis
         self.max_down_per_tick = max_down_per_tick
         slo_map = {name: c.function.slo_ms for name, c in self.controllers.items()}
-        self.scaler = HeuristicScaler(database, slo_ms=slo_map, latency_headroom=latency_headroom)
+        # Profile latencies are V100-calibrated; on a cluster containing
+        # slower GPU types a pod's GPU-resident time grows by 1/factor, so
+        # shrink the SLO-feasibility budget by the slowest node's factor —
+        # a config passing this bound meets its latency budget on any node.
+        min_factor = min(cluster.speed_factors().values())
+        effective_headroom = latency_headroom * min(1.0, min_factor)
+        self.scaler = HeuristicScaler(
+            database, slo_ms=slo_map, latency_headroom=effective_headroom
+        )
         self.placement = MaximalRectanglesScheduler(
             [node.name for node in cluster.nodes],
             restructure_threshold=restructure_threshold,
+            policy=placement_policy,
+            node_factors=cluster.speed_factors(),
         )
         self.events: list[SchedulerEvent] = []
         self.replica_series: list[tuple[float, dict[str, int]]] = []
@@ -160,7 +171,7 @@ class FaSTScheduler:
                     pod_id=pod_id,
                     sm_partition=sm,
                     quota=q_limit,
-                    throughput=self._throughput_of(name, sm, q_limit),
+                    throughput=self._throughput_of(name, sm, q_limit, pod_id=pod_id),
                 )
                 for pod_id, sm, _q_req, q_limit in controller.running_configs()
             ]
@@ -229,10 +240,20 @@ class FaSTScheduler:
             SchedulerEvent(self.engine.now, action.function, "down", 0.0, 0.0, node)
         )
 
-    def _throughput_of(self, function: str, sm: float, quota: float) -> float:
+    def _throughput_of(self, function: str, sm: float, quota: float,
+                       pod_id: str | None = None) -> float:
+        factor = 1.0
+        if pod_id is not None:
+            # Profiles are calibrated on the V100; a pod serving from a
+            # faster/slower GPU type delivers proportionally scaled RPS.
+            pod = self.cluster.pods.get(pod_id)
+            if pod is not None and pod.node_name is not None:
+                factor = self.cluster.node(pod.node_name).speed_factor
         point = self.database.get(function, sm, quota)
-        if point is not None:
+        if point is not None and factor == 1.0:
             return point.throughput
-        # Pods deployed outside the profiled grid fall back to the analytic rate.
+        # Non-calibration GPU types (and pods outside the profiled grid) use
+        # the analytic rate: host time is CPU-side, so scaling the profiled
+        # number linearly by the factor would overestimate duty-bound configs.
         model = self.controllers[function].function.model
-        return model.expected_rate(sm, quota)
+        return model.expected_rate(sm, quota, gpu_factor=factor)

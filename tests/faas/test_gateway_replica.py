@@ -9,7 +9,6 @@ from repro.faas.loadgen import ClosedLoopClient, OpenLoopGenerator
 from repro.faas.workload import ConstantRate
 from repro.k8s import Cluster
 from repro.k8s.fastpod import FaSTPodController
-from repro.models import get_model
 from repro.sim import Engine
 
 
@@ -51,7 +50,7 @@ def test_least_loaded_routing_balances(stack):
     controller.scale_up(cluster.node(0), 24, 1.0, 1.0)
     controller.scale_up(cluster.node(0), 24, 1.0, 1.0)
     engine.run(until=spec.model.load_time_s + 0.5)
-    generator = OpenLoopGenerator(
+    OpenLoopGenerator(
         engine, gateway, "classify", ConstantRate(rps=60, duration=5.0)
     )
     engine.run(until=engine.now + 5.0)

@@ -1,0 +1,141 @@
+"""Tests for the production-shaped trace loader (repro.faas.traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faas.traces import (
+    TRACE_SHAPES,
+    FunctionTrace,
+    TraceSet,
+    TraceWorkload,
+    load_trace_set,
+    synthesize_trace,
+    synthesize_trace_set,
+)
+
+FLEET = [
+    ("resnet", "resnet50", "diurnal", 20.0),
+    ("bert", "bert", "bursty", 6.0),
+    ("gnmt", "gnmt", "cold", 3.0),
+    ("rnnt", "rnnt", "steady", 4.0),
+]
+
+
+# -- synthesis ----------------------------------------------------------------
+def test_synthesis_is_deterministic_under_fixed_seed():
+    a = synthesize_trace("fn", "resnet50", shape="bursty", mean_rps=12.0, seed=7)
+    b = synthesize_trace("fn", "resnet50", shape="bursty", mean_rps=12.0, seed=7)
+    assert a == b
+    c = synthesize_trace("fn", "resnet50", shape="bursty", mean_rps=12.0, seed=8)
+    assert c.counts != a.counts
+
+
+def test_synthesis_decorrelates_functions_and_shapes():
+    a = synthesize_trace("fn-a", "resnet50", shape="diurnal", seed=7)
+    b = synthesize_trace("fn-b", "resnet50", shape="diurnal", seed=7)
+    assert a.counts != b.counts
+
+
+def test_every_shape_synthesizes():
+    for shape in TRACE_SHAPES:
+        trace = synthesize_trace("fn", "resnet50", shape=shape, mean_rps=10.0, seed=3)
+        assert len(trace.counts) == 30
+        assert trace.total_invocations > 0
+
+
+def test_unknown_shape_rejected():
+    with pytest.raises(ValueError, match="unknown trace shape"):
+        synthesize_trace("fn", "resnet50", shape="square-wave")
+
+
+def test_shapes_preserve_the_requested_mean_rate():
+    """Shapes redistribute load; none may inflate the offered total."""
+    for shape in TRACE_SHAPES:
+        means = [
+            synthesize_trace(
+                "fn", "resnet50", shape=shape, mean_rps=5.0, bins=40, bin_s=10.0, seed=seed
+            ).mean_rps
+            for seed in range(12)
+        ]
+        average = sum(means) / len(means)
+        assert average == pytest.approx(5.0, rel=0.15), (shape, average)
+
+
+def test_cold_shape_is_idle_heavy_and_bursty_has_spikes():
+    cold = synthesize_trace("fn", "gnmt", shape="cold", mean_rps=3.0, bins=50, seed=11)
+    steady = synthesize_trace("fn", "gnmt", shape="steady", mean_rps=3.0, bins=50, seed=11)
+    bursty = synthesize_trace("fn", "gnmt", shape="bursty", mean_rps=3.0, bins=50, seed=11)
+    assert cold.idle_fraction > 0.5 > steady.idle_fraction
+    # Flash crowds push the peak well above a steady trace's.
+    assert bursty.peak_rps > 1.5 * steady.peak_rps
+
+
+# -- round trip ---------------------------------------------------------------
+def test_trace_set_round_trips_through_json(tmp_path):
+    trace_set = synthesize_trace_set(FLEET, bins=24, bin_s=30.0, seed=9)
+    path = tmp_path / "trace.json"
+    trace_set.save(str(path))
+    loaded = load_trace_set(str(path))
+    assert loaded == trace_set
+    assert loaded.functions == [row[0] for row in FLEET]
+    assert loaded.get("bert").shape == "bursty"
+
+
+def test_trace_set_rejects_wrong_format():
+    with pytest.raises(ValueError, match="unsupported trace format"):
+        TraceSet.from_json('{"format": "something-else", "traces": []}')
+
+
+def test_trace_set_rejects_duplicate_functions():
+    trace = synthesize_trace("fn", "resnet50", seed=1)
+    with pytest.raises(ValueError, match="duplicate"):
+        TraceSet(traces=(trace, trace))
+
+
+def test_function_trace_validation():
+    with pytest.raises(ValueError):
+        FunctionTrace(function="f", model="resnet50", counts=())
+    with pytest.raises(ValueError):
+        FunctionTrace(function="f", model="resnet50", counts=(1, -2))
+    with pytest.raises(ValueError):
+        FunctionTrace(function="f", model="resnet50", counts=(1,), bin_s=0.0)
+
+
+# -- workload adaptation ------------------------------------------------------
+def test_workload_replays_exact_per_bin_counts():
+    trace = synthesize_trace("fn", "resnet50", shape="diurnal", mean_rps=8.0, bins=12, bin_s=5.0)
+    workload = trace.to_workload()
+    times = list(workload.arrival_times(np.random.default_rng(0)))
+    assert len(times) == trace.total_invocations
+    assert times == sorted(times)
+    per_bin = np.bincount([int(t // 5.0) for t in times], minlength=12)
+    assert tuple(int(c) for c in per_bin[:12]) == trace.counts
+
+
+def test_workload_arrivals_deterministic_given_rng_seed():
+    workload = TraceWorkload([3, 0, 5, 2], bin_s=2.0)
+    a = list(workload.arrival_times(np.random.default_rng(42)))
+    b = list(workload.arrival_times(np.random.default_rng(42)))
+    assert a == b
+    assert len(a) == 10
+
+
+def test_workload_rps_matches_counts():
+    workload = TraceWorkload([4, 0, 10], bin_s=2.0)
+    assert workload.duration == 6.0
+    assert workload.rps_at(0.5) == pytest.approx(2.0)
+    assert workload.rps_at(2.5) == 0.0
+    assert workload.rps_at(4.1) == pytest.approx(5.0)
+    assert workload.rps_at(-1.0) == 0.0
+    assert workload.rps_at(6.0) == 0.0
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        TraceWorkload([])
+    with pytest.raises(ValueError):
+        TraceWorkload([1, -1])
+    with pytest.raises(ValueError):
+        TraceWorkload([1], bin_s=0.0)

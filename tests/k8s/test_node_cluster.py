@@ -38,6 +38,24 @@ def test_cluster_builds_named_nodes(cluster: Cluster):
 def test_cluster_requires_a_node(engine: Engine):
     with pytest.raises(ValueError):
         Cluster(engine, nodes=0)
+    with pytest.raises(ValueError):
+        Cluster(engine, nodes=[])
+
+
+def test_heterogeneous_cluster_builds_per_node_specs(engine: Engine):
+    cluster = Cluster(engine, nodes=["V100", "A100", "T4"])
+    assert [n.spec.name for n in cluster.nodes] == ["V100", "A100", "T4"]
+    assert cluster.heterogeneous
+    factors = cluster.speed_factors()
+    assert factors["node1"] > factors["node0"] > factors["node2"]
+    # Memory capacity follows the per-node spec (A100 has 40 GB).
+    assert cluster.node(1).device.memory.capacity_mb > cluster.node(0).device.memory.capacity_mb
+
+
+def test_homogeneous_cluster_is_not_heterogeneous(engine: Engine):
+    cluster = Cluster(engine, nodes=2, gpu="V100")
+    assert not cluster.heterogeneous
+    assert set(cluster.speed_factors().values()) == {1.0}
 
 
 def test_admit_wires_fast_container(cluster: Cluster):

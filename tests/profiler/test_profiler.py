@@ -5,10 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.faas import FunctionSpec
-from repro.models import MODEL_ZOO, get_model
+from repro.models import get_model
 from repro.profiler import (
-    DEFAULT_SPATIAL_POINTS,
-    DEFAULT_TEMPORAL_POINTS,
     ConfigurationServer,
     FaSTProfiler,
     ProfileDatabase,

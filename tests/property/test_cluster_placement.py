@@ -1,0 +1,116 @@
+"""Property tests: cluster placement never over-commits a node.
+
+Whatever the policy and the (place, remove) sequence, every node's placed
+pod rectangles must stay pairwise disjoint inside the 100×100 quota×SM box
+(no double-granted resource), and a node's GPU memory ledger must never
+admit pods past its capacity — on every GPU type in the catalogue.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.gpu import GpuOutOfMemoryError
+from repro.gpu.specs import GPU_CATALOG, gpu_spec
+from repro.k8s import Cluster, ObjectMeta, Pod, PodSpec
+from repro.scheduler import (
+    PLACEMENT_POLICIES,
+    MaximalRectanglesScheduler,
+    NoFitError,
+    pairwise_disjoint,
+    total_area,
+    within_bounds,
+)
+from repro.sim import Engine
+
+NODE_SETS = [
+    ["V100", "A100", "T4"],
+    ["V100", "V100", "A100", "T4"],
+    ["T4", "T4"],
+]
+
+pod_rects = st.tuples(
+    st.floats(min_value=5.0, max_value=100.0),  # w = quota * 100
+    st.floats(min_value=5.0, max_value=100.0),  # h = SM %
+)
+
+
+@st.composite
+def placement_scripts(draw):
+    """A sequence of place/remove operations with valid removal targets."""
+    ops = []
+    alive: list[int] = []
+    serial = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        if alive and draw(st.booleans()) and draw(st.booleans()):
+            victim = alive.pop(draw(st.integers(min_value=0, max_value=len(alive) - 1)))
+            ops.append(("remove", victim, None))
+        else:
+            ops.append(("place", serial, draw(pod_rects)))
+            alive.append(serial)
+            serial += 1
+    return ops
+
+
+@given(
+    script=placement_scripts(),
+    policy=st.sampled_from(PLACEMENT_POLICIES),
+    nodes=st.sampled_from(NODE_SETS),
+)
+@settings(max_examples=60, deadline=None)
+def test_policies_never_overcommit_sm_partition(script, policy, nodes):
+    factors = {f"node{i}": gpu_spec(g).fp32_tflops for i, g in enumerate(nodes)}
+    scheduler = MaximalRectanglesScheduler(
+        [f"node{i}" for i in range(len(nodes))], policy=policy, node_factors=factors
+    )
+    for op, pod, size in script:
+        if op == "remove":
+            if scheduler.node_of(f"p{pod}") is not None:
+                scheduler.unbind(f"p{pod}")
+            continue
+        w, h = size
+        try:
+            scheduler.bind(f"p{pod}", w, h)
+        except NoFitError:
+            pass
+        for name, gpu in scheduler.gpus.items():
+            placed = list(gpu.placed.values())
+            assert pairwise_disjoint(placed), (policy, name)
+            assert within_bounds(placed, gpu.width, gpu.height), (policy, name)
+            assert total_area(placed) <= gpu.width * gpu.height + 1e-6
+
+
+@given(
+    mems=st.lists(st.floats(min_value=100.0, max_value=20000.0), min_size=1, max_size=24),
+    gpu_name=st.sampled_from(sorted(GPU_CATALOG)),
+)
+@settings(max_examples=40, deadline=None)
+def test_node_memory_ledger_never_overcommits(mems, gpu_name):
+    engine = Engine(seed=7)
+    cluster = Cluster(engine, nodes=[gpu_name], sharing_mode="racing")
+    node = cluster.node(0)
+    capacity = node.device.memory.capacity_mb
+    admitted = []
+    for i, mem in enumerate(mems):
+        spec = PodSpec(
+            function_name="f",
+            model_name="resnet50",
+            sm_partition=10.0,
+            quota_request=0.1,
+            quota_limit=0.1,
+            gpu_mem_mb=mem,
+        )
+        pod = Pod(meta=ObjectMeta(name=f"p{i}"), spec=spec)
+        if node.fits_memory(pod):
+            node.admit(pod)
+            admitted.append(pod)
+        else:
+            try:
+                node.admit(pod)
+                raise AssertionError("admit() accepted a pod fits_memory() rejected")
+            except GpuOutOfMemoryError:
+                pass
+        used = capacity - node.device.memory.free_mb
+        assert used <= capacity + 1e-6
+        assert used >= sum(p.spec.gpu_mem_mb for p in admitted) - 1e-6

@@ -1,0 +1,87 @@
+"""Unit tests for cluster-aware node-scoring policies and hetero baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler import (
+    PLACEMENT_POLICIES,
+    FirstFitRectScheduler,
+    MaximalRectanglesScheduler,
+    NoFitError,
+    QuotaPackingScheduler,
+)
+
+NODES = ["node0", "node1", "node2"]
+FACTORS = {"node0": 1.0, "node1": 1.24, "node2": 0.52}
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        MaximalRectanglesScheduler(NODES, policy="best-effort")
+
+
+def test_binpack_concentrates_on_one_node():
+    scheduler = MaximalRectanglesScheduler(NODES, policy="binpack")
+    for i in range(4):
+        scheduler.bind(f"p{i}", 40.0, 20.0)
+    assert scheduler.gpus_in_use() == 1
+
+
+def test_spread_distributes_across_nodes():
+    scheduler = MaximalRectanglesScheduler(NODES, policy="spread")
+    homes = [scheduler.bind(f"p{i}", 40.0, 20.0) for i in range(3)]
+    assert sorted(homes) == NODES  # one pod per node before any doubling up
+    scheduler.bind("p3", 40.0, 20.0)
+    assert scheduler.gpus_in_use() == 3
+
+
+def test_affinity_prefers_fastest_gpu_type():
+    scheduler = MaximalRectanglesScheduler(NODES, policy="affinity", node_factors=FACTORS)
+    assert scheduler.bind("p0", 40.0, 20.0) == "node1"  # A100-class first
+    assert scheduler.bind("p1", 40.0, 20.0) == "node1"  # still fits there
+    # Fill node1; the next pod falls back to the next-fastest type.
+    scheduler.bind("big", 100.0, 60.0)
+    assert scheduler.node_of("big") == "node1"
+    assert scheduler.bind("p2", 80.0, 80.0) == "node0"
+
+
+def test_all_policies_release_rectangles_on_the_right_node():
+    for policy in PLACEMENT_POLICIES:
+        scheduler = MaximalRectanglesScheduler(NODES, policy=policy, node_factors=FACTORS)
+        homes = {f"p{i}": scheduler.bind(f"p{i}", 60.0, 60.0) for i in range(3)}
+        assert scheduler.gpus_in_use() == 3  # a 60x60 pod fills any node's best rect
+        for pod, home in homes.items():
+            assert scheduler.unbind(pod) == home, policy
+        assert scheduler.gpus_in_use() == 0, policy
+        for gpu in scheduler.gpus.values():
+            assert gpu.free_area() == pytest.approx(gpu.width * gpu.height)
+
+
+def test_scale_down_then_reuse_keeps_capacity_exact():
+    scheduler = MaximalRectanglesScheduler(NODES, policy="spread")
+    for round_no in range(3):
+        pods = [f"r{round_no}-p{i}" for i in range(6)]
+        for pod in pods:
+            scheduler.bind(pod, 50.0, 50.0)
+        for pod in pods:
+            scheduler.unbind(pod)
+    assert all(not gpu.placed for gpu in scheduler.gpus.values())
+
+
+def test_quota_packer_supports_per_node_capacities():
+    packer = QuotaPackingScheduler(NODES, capacities={"node0": 0.5, "node1": 1.0, "node2": 1.0})
+    assert packer.bind("a", 0.6) == "node1"  # node0's shrunken capacity skipped
+    assert packer.bind("b", 0.5) == "node0"
+    assert packer.bind("c", 0.6) == "node2"
+    with pytest.raises(NoFitError):
+        packer.bind("d", 0.6)
+    with pytest.raises(ValueError):
+        QuotaPackingScheduler(NODES, capacities={"node0": 0.0})
+
+
+def test_first_fit_visits_faster_gpu_types_first():
+    affinity = FirstFitRectScheduler(NODES, node_factors=FACTORS)
+    assert affinity.bind("p0", 40.0, 20.0) == "node1"
+    plain = FirstFitRectScheduler(NODES)
+    assert plain.bind("p0", 40.0, 20.0) == "node0"

@@ -1,0 +1,75 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _GATE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def make_report(speedup: float, resident: int = 32) -> dict:
+    return {
+        "benchmark": "engine",
+        "quick": False,
+        "workload": {"resident_bursts": resident},
+        "speedup_vs_reference": speedup,
+        "timer_churn": {"events_per_sec": 1_000_000.0},
+        "device_churn": {"bursts_per_sec": 180_000.0},
+        "device_churn_reference": {"bursts_per_sec": 1_200.0},
+    }
+
+
+def write(tmp_path, name: str, report: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_gate_passes_within_tolerance(tmp_path):
+    baseline = write(tmp_path, "base.json", make_report(150.0))
+    fresh = write(tmp_path, "fresh.json", make_report(120.0))  # -20% < 30% tolerance
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_gate_fails_on_large_regression(tmp_path, capsys):
+    baseline = write(tmp_path, "base.json", make_report(150.0))
+    fresh = write(tmp_path, "fresh.json", make_report(90.0))  # -40% > 30% tolerance
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_gate_allows_improvement(tmp_path):
+    baseline = write(tmp_path, "base.json", make_report(150.0))
+    fresh = write(tmp_path, "fresh.json", make_report(400.0))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_gate_rejects_workload_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "base.json", make_report(150.0, resident=32))
+    fresh = write(tmp_path, "fresh.json", make_report(150.0, resident=16))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "workload mismatch" in capsys.readouterr().err
+
+
+def test_gate_rejects_non_engine_report(tmp_path):
+    baseline = write(tmp_path, "base.json", {"benchmark": "something"})
+    fresh = write(tmp_path, "fresh.json", make_report(150.0))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+
+
+def test_gate_rejects_bad_tolerance(tmp_path):
+    baseline = write(tmp_path, "base.json", make_report(150.0))
+    with pytest.raises(SystemExit):
+        check_regression.main(["--baseline", baseline, "--fresh", baseline, "--tolerance", "1.5"])
+
+
+def test_gate_passes_on_committed_baseline_against_itself():
+    committed = str(_GATE_PATH.parent.parent / "BENCH_engine.json")
+    assert check_regression.main(["--baseline", committed, "--fresh", committed]) == 0

@@ -1,0 +1,78 @@
+"""CLI contract tests: valid invocations succeed, typos exit non-zero."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_unknown_experiment_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["benhc"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "invalid choice" in err
+
+
+def test_unknown_flag_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["bench", "--quik"])
+    assert excinfo.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_bad_cluster_policy_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cluster-bench", "--quick", "--policies", "binpak"])
+    assert excinfo.value.code == 2
+    assert "unknown policy" in capsys.readouterr().err
+
+
+def test_bad_cluster_gpu_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cluster-bench", "--quick", "--nodes", "V100,H900"])
+    assert excinfo.value.code == 2
+    assert "unknown GPU type" in capsys.readouterr().err
+
+
+def test_bad_replicates_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fig13", "--replicates", "0"])
+    assert excinfo.value.code == 2
+    assert "--replicates" in capsys.readouterr().err
+
+
+def test_list_mentions_cluster_bench(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster-bench" in out and "fig14" in out
+
+
+def test_cluster_bench_quick_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_cluster.json"
+    code = main(
+        [
+            "cluster-bench",
+            "--quick",
+            "--nodes",
+            "V100,A100,T4",
+            "--policies",
+            "binpack,affinity",
+            "--cluster-output",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "cluster"
+    assert report["nodes"] == ["V100", "A100", "T4"]
+    assert set(report["policies"]) == {"binpack", "affinity"}
+    for metrics in report["policies"].values():
+        assert 0.0 <= metrics["slo_violation_ratio"] <= 1.0
+        assert metrics["peak_gpus"] >= 1
+        assert metrics["completed"] > 0
+    out = capsys.readouterr().out
+    assert "cluster-scale trace replay" in out

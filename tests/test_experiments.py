@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11_scheduler,
     fig12_autoscaling,
     fig13_modelsharing,
+    fig14_cluster,
 )
 
 
@@ -53,6 +54,23 @@ def test_fig13_quick():
     assert result.bar("resnet50").original_mb == pytest.approx(1525, abs=1)
     assert result.resnext_pods_with_sharing > result.resnext_pods_without_sharing
     assert "memory footprint" in fig13_modelsharing.format_result(result)
+
+
+def test_fig14_quick():
+    result = fig14_cluster.run(quick=True)
+    assert len(result.nodes) >= 3
+    assert len({result.node_factors[f"node{i}"] for i in range(len(result.nodes))}) >= 3
+    assert len(result.outcomes) == 3  # binpack, spread, affinity by default
+    policies = [out.policy for out in result.outcomes]
+    assert policies == list(dict.fromkeys(policies))  # unique, ordered
+    for out in result.outcomes:
+        assert out.completed > 0
+        assert 0.0 <= out.slo_violation_ratio <= 1.0
+        assert 1 <= out.peak_gpus <= len(result.nodes)
+        assert set(out.per_function_violations) == {f for f, _, _, _ in result.functions}
+    assert "cluster-scale trace replay" in fig14_cluster.format_result(result)
+    payload = fig14_cluster.report_payload(result)
+    assert set(payload["policies"]) == set(policies)
 
 
 def test_ablation_format():

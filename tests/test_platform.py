@@ -134,3 +134,21 @@ def test_same_seed_same_results():
         return report.completed, report.p95_ms, report.node_metrics
 
     assert run() == run()
+
+
+def test_gpu_type_scales_served_throughput():
+    """The same pod config serves faster on an A100 than on a T4."""
+    rates = {}
+    for gpu in ("A100", "T4"):
+        platform = FaSTGShare.build(nodes=[gpu], sharing="fast", seed=1)
+        platform.register_function("classify", model="resnet50")
+        platform.deploy("classify", configs=[(24, 1.0)])
+        report = platform.run_closed_loop("classify", concurrency=4, duration=8.0)
+        rates[gpu] = report.throughput
+    assert rates["A100"] > 1.5 * rates["T4"]
+
+
+def test_heterogeneous_build_accepts_node_list():
+    platform = FaSTGShare.build(nodes=("V100", "T4"), sharing="fast", seed=1)
+    assert platform.config.nodes == ("V100", "T4")
+    assert [n.spec.name for n in platform.cluster.nodes] == ["V100", "T4"]
