@@ -1,22 +1,31 @@
 #!/usr/bin/env python
 """Benchmark-regression gate for CI.
 
-Compares a freshly measured ``BENCH_engine.json`` against the committed
-baseline and fails (exit 1) when per-burst device throughput regressed by
-more than the tolerance.
+Compares a freshly measured benchmark report against the committed baseline
+and fails (exit 1) on a regression beyond the tolerance.  The report kind is
+dispatched on the baseline's ``benchmark`` field:
 
-Raw bursts/s numbers are machine-dependent (a CI runner is not the machine
-the baseline was recorded on), so the primary gate is
-``speedup_vs_reference`` — the production device model's per-burst
-throughput *relative to the seed-semantics reference model measured in the
-same process on the same machine*.  That ratio is stable across hosts; a
-collapse means a hot-path regression, not a slow runner.  Raw throughputs
-are printed for context and only warn.
+* ``engine`` — per-burst device throughput.  Raw bursts/s numbers are
+  machine-dependent (a CI runner is not the machine the baseline was
+  recorded on), so the primary gate is ``speedup_vs_reference`` — the
+  production device model's per-burst throughput *relative to the
+  seed-semantics reference model measured in the same process on the same
+  machine*.  That ratio is stable across hosts; a collapse means a hot-path
+  regression, not a slow runner.  Raw throughputs are printed for context
+  and only warn.
+* ``prewarm`` — per-policy SLO-violation rates of the autoscaling replay
+  (``BENCH_prewarm.json``).  These are *simulated* metrics — deterministic
+  for a given seed and trace — so the gate fails when any policy's
+  violation rate grows more than the relative tolerance (plus a small
+  absolute epsilon for near-zero rates) over the committed baseline, or
+  when the predictive policy stops beating the reactive baseline.
 
 Usage::
 
     python benchmarks/check_regression.py \
         --baseline BENCH_engine.json --fresh BENCH_fresh.json [--tolerance 0.30]
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_prewarm_quick.json --fresh BENCH_prewarm_fresh.json
 """
 
 from __future__ import annotations
@@ -25,12 +34,16 @@ import argparse
 import json
 import sys
 
+#: Absolute slack added to the prewarm violation-rate gate so near-zero
+#: baselines (0.1% violations) don't fail on one extra late request.
+PREWARM_ABS_EPSILON = 0.005
 
-def load_report(path: str) -> dict:
+
+def load_report(path: str, kinds: tuple[str, ...] = ("engine", "prewarm")) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
-    if report.get("benchmark") != "engine":
-        raise ValueError(f"{path}: not an engine benchmark report")
+    if report.get("benchmark") not in kinds:
+        raise ValueError(f"{path}: not a known benchmark report (want one of {kinds})")
     return report
 
 
@@ -39,6 +52,43 @@ def relative_drop(baseline: float, fresh: float) -> float:
     if baseline <= 0:
         raise ValueError(f"non-positive baseline value {baseline}")
     return (baseline - fresh) / baseline
+
+
+def check_prewarm(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Prewarm-report gate: per-policy SLO-violation-rate regressions."""
+    failures: list[str] = []
+    if baseline.get("trace") != fresh.get("trace") or baseline.get("nodes") != fresh.get("nodes"):
+        raise ValueError(
+            "trace/node mismatch: the prewarm gate compares deterministic replays — "
+            f"baseline trace {baseline.get('trace')} nodes {baseline.get('nodes')} vs "
+            f"fresh trace {fresh.get('trace')} nodes {fresh.get('nodes')}"
+        )
+    shared = sorted(set(baseline["policies"]) & set(fresh["policies"]))
+    if not shared:
+        raise ValueError("no common policies between baseline and fresh prewarm reports")
+    for policy in shared:
+        base_rate = float(baseline["policies"][policy]["slo_violation_ratio"])
+        fresh_rate = float(fresh["policies"][policy]["slo_violation_ratio"])
+        bound = base_rate * (1.0 + tolerance) + PREWARM_ABS_EPSILON
+        marker = "  [REGRESSION]" if fresh_rate > bound else ""
+        print(
+            f"slo_violation_ratio[{policy:<10}]: baseline {100 * base_rate:6.2f}%   "
+            f"fresh {100 * fresh_rate:6.2f}%   bound {100 * bound:6.2f}%{marker}"
+        )
+        if fresh_rate > bound:
+            failures.append(
+                f"{policy}: SLO-violation rate regressed {100 * base_rate:.2f}% -> "
+                f"{100 * fresh_rate:.2f}% (bound {100 * bound:.2f}%)"
+            )
+    if {"reactive", "predictive"} <= set(fresh["policies"]):
+        reactive = float(fresh["policies"]["reactive"]["slo_violation_ratio"])
+        predictive = float(fresh["policies"]["predictive"]["slo_violation_ratio"])
+        if predictive > reactive + PREWARM_ABS_EPSILON:
+            failures.append(
+                f"predictive policy no longer beats reactive: "
+                f"{100 * predictive:.2f}% vs {100 * reactive:.2f}% violations"
+            )
+    return failures
 
 
 def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
@@ -111,8 +161,12 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         baseline = load_report(args.baseline)
-        fresh = load_report(args.fresh)
-        failures = check(baseline, fresh, args.tolerance)
+        kind = baseline["benchmark"]
+        fresh = load_report(args.fresh, kinds=(kind,))
+        if kind == "prewarm":
+            failures = check_prewarm(baseline, fresh, args.tolerance)
+        else:
+            failures = check(baseline, fresh, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -8,6 +8,7 @@ Usage::
     python -m repro --jobs 4                 # full figure suite, parallel
     python -m repro bench --quick            # writes BENCH_engine.json
     python -m repro cluster-bench --quick    # writes BENCH_cluster.json
+    python -m repro prewarm-bench --quick    # writes BENCH_prewarm.json
 
 ``--jobs N`` fans the selected experiments (and ``--replicates R`` seed
 replicates of each) across ``N`` worker processes via
@@ -17,6 +18,12 @@ parallel run prints bit-identical results to the serial one.
 ``cluster-bench`` replays a production-shaped trace set over a heterogeneous
 GPU cluster under each placement policy (``--nodes``/``--policies``) and
 writes per-policy SLO-violation/GPU-count metrics to ``--cluster-output``.
+
+``prewarm-bench`` replays the cold/bursty trace subset under each
+*autoscaling* mode (reactive / predictive / oracle; ``--policies``) and
+writes per-policy SLO-violation/cold-start/GPU-seconds metrics to
+``--prewarm-output``.  Both benches accept ``--trace-file`` to replay a
+committed trace file instead of synthesizing one.
 
 Any invalid invocation (unknown experiment, bad ``--nodes``/``--policies``
 value) exits non-zero with a usage message, and an experiment that raises
@@ -38,6 +45,7 @@ def _cmd_list() -> int:
         print(f"{name:<10} {doc.strip().splitlines()[0]}")
     print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
+    print("prewarm-bench  Reactive-vs-predictive autoscaling replay (writes BENCH_prewarm.json).")
     return 0
 
 
@@ -60,13 +68,39 @@ def _cmd_bench(quick: bool, jobs: int, output: str) -> int:
 
 
 def _cmd_cluster_bench(
-    quick: bool, seed: int, nodes: list[str], policies: list[str], output: str
+    quick: bool,
+    seed: int,
+    nodes: list[str],
+    policies: list[str],
+    output: str,
+    trace_file: str | None,
 ) -> int:
     from repro.experiments import fig14_cluster
 
-    result = fig14_cluster.run(quick=quick, seed=seed, nodes=nodes, policies=policies)
+    result = fig14_cluster.run(
+        quick=quick, seed=seed, nodes=nodes, policies=policies, trace_file=trace_file
+    )
     print(fig14_cluster.format_result(result))
     fig14_cluster.write_cluster_report(output, result)
+    print(f"[report written to {output}]")
+    return 0
+
+
+def _cmd_prewarm_bench(
+    quick: bool,
+    seed: int,
+    nodes: list[str] | None,
+    policies: list[str] | None,
+    output: str,
+    trace_file: str | None,
+) -> int:
+    from repro.experiments import fig15_prewarm
+
+    result = fig15_prewarm.run(
+        quick=quick, seed=seed, nodes=nodes, policies=policies, trace_file=trace_file
+    )
+    print(fig15_prewarm.format_result(result))
+    fig15_prewarm.write_prewarm_report(output, result)
     print(f"[report written to {output}]")
     return 0
 
@@ -84,9 +118,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="all",
-        choices=sorted(SIMPLE_EXPERIMENTS) + ["ablations", "all", "list", "bench", "cluster-bench"],
-        help="which experiment to run (or 'list' / 'all' / 'bench' / 'cluster-bench'; "
-        "default: all)",
+        choices=sorted(SIMPLE_EXPERIMENTS)
+        + ["ablations", "all", "list", "bench", "cluster-bench", "prewarm-bench"],
+        help="which experiment to run (or 'list' / 'all' / 'bench' / 'cluster-bench' / "
+        "'prewarm-bench'; default: all)",
     )
     parser.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
     parser.add_argument("--seed", type=int, default=42)
@@ -129,6 +164,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="where 'cluster-bench' writes its JSON report",
     )
+    parser.add_argument(
+        "--prewarm-output",
+        default="BENCH_prewarm.json",
+        metavar="PATH",
+        help="where 'prewarm-bench' writes its JSON report",
+    )
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="cluster-bench/prewarm-bench: replay a committed trace file "
+        "(fast-gshare-trace/1 JSON) instead of synthesizing one",
+    )
     args = parser.parse_args(argv)
     if args.replicates < 1:
         parser.error(f"--replicates must be >= 1, got {args.replicates}")
@@ -137,13 +185,19 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.experiment == "bench":
         return _cmd_bench(args.quick, args.jobs, args.bench_output)
-    if args.experiment == "cluster-bench":
+    if args.trace_file is not None and args.experiment not in ("cluster-bench", "prewarm-bench"):
+        parser.error("--trace-file only applies to cluster-bench / prewarm-bench")
+    if args.experiment in ("cluster-bench", "prewarm-bench"):
         from repro.experiments.fig14_cluster import DEFAULT_NODES, QUICK_NODES
+        from repro.experiments.fig15_prewarm import PREWARM_NODES, SCALING_POLICIES
         from repro.gpu.specs import GPU_CATALOG
         from repro.scheduler.mra import PLACEMENT_POLICIES
 
+        prewarm = args.experiment == "prewarm-bench"
+        known_policies = SCALING_POLICIES if prewarm else PLACEMENT_POLICIES
+        default_nodes = PREWARM_NODES if prewarm else DEFAULT_NODES
         if args.nodes is None:
-            nodes = list(QUICK_NODES if args.quick else DEFAULT_NODES)
+            nodes = list(QUICK_NODES if args.quick else default_nodes)
         else:
             nodes = [n.upper() for n in _split_csv(args.nodes)]
         if len(nodes) < 1:
@@ -151,13 +205,28 @@ def main(argv: list[str] | None = None) -> int:
         for name in nodes:
             if name not in GPU_CATALOG:
                 parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
-        policies = list(PLACEMENT_POLICIES) if args.policies is None else _split_csv(args.policies)
+        policies = list(known_policies) if args.policies is None else _split_csv(args.policies)
         if not policies:
             parser.error("--policies needs at least one policy")
         for policy in policies:
-            if policy not in PLACEMENT_POLICIES:
-                parser.error(f"unknown policy {policy!r}; known: {PLACEMENT_POLICIES}")
-        return _cmd_cluster_bench(args.quick, args.seed, nodes, policies, args.cluster_output)
+            if policy not in known_policies:
+                parser.error(f"unknown policy {policy!r}; known: {known_policies}")
+        try:
+            if prewarm:
+                return _cmd_prewarm_bench(
+                    args.quick, args.seed, nodes, policies, args.prewarm_output, args.trace_file
+                )
+            return _cmd_cluster_bench(
+                args.quick, args.seed, nodes, policies, args.cluster_output, args.trace_file
+            )
+        except BrokenPipeError:  # e.g. `python -m repro ...-bench | head`
+            return 0
+        except Exception as exc:  # bad trace file, bench blow-up: exit non-zero
+            import traceback
+
+            traceback.print_exc()
+            print(f"error: {args.experiment}: {exc}", file=sys.stderr)
+            return 1
 
     names = runner.experiment_names() if args.experiment == "all" else [args.experiment]
     try:

@@ -1,10 +1,13 @@
 """Fig. 12 — auto-scaling to meet the SLO under a stepped workload.
 
 A single ResNet function (SLO 69 ms) faces a 0→100 req/s staircase trace.
-The FaST-Scheduler reads predicted RPS from the gateway, runs the Heuristic
-Scaling Algorithm against the profile database, and places pods with MRA.
-The paper's acceptance bar: the SLO violation ratio stays below ~1% overall
-while the replica count tracks the workload.
+The FaST-Scheduler runs the Heuristic Scaling Algorithm against the profile
+database and places pods with MRA.  The control path is the predictive
+autoscaler's **reactive degenerate** (``policy="reactive"``: no
+forecasters, no pre-warming) — the same controller the predictive policies
+run through, so this figure exercises exactly the code path prewarm-bench
+baselines against.  The paper's acceptance bar: the SLO violation ratio
+stays below ~1% overall while the replica count tracks the workload.
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ def run(
     scheduler = platform.start_autoscaler(
         database, interval=interval, headroom=headroom,
         scale_down_cooldown=10.0,
+        policy="reactive",
     )
     # Marginal surpluses must not trigger scale-down: removing a pod pushes
     # the survivors into queueing territory the 69 ms SLO cannot absorb.

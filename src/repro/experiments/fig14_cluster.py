@@ -26,7 +26,7 @@ import json
 import typing as _t
 
 from repro.faas.loadgen import OpenLoopGenerator
-from repro.faas.traces import TraceSet, synthesize_trace_set
+from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
 from repro.gpu.specs import gpu_spec
 from repro.models import MODEL_ZOO
 from repro.models.scaling import gpu_type_factor
@@ -195,8 +195,14 @@ def run(
     bins: int | None = None,
     bin_s: float | None = None,
     fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
+    trace_file: str | None = None,
 ) -> ClusterResult:
-    """Replay a production-shaped trace set under each placement policy."""
+    """Replay a production-shaped trace set under each placement policy.
+
+    ``trace_file`` replays a committed/public trace file (see
+    :func:`repro.faas.traces.load_trace_file`) instead of synthesizing one;
+    the fleet, horizon, and bin width then come from the file.
+    """
     if nodes is None:
         nodes = QUICK_NODES if quick else DEFAULT_NODES
     if policies is None:
@@ -204,15 +210,25 @@ def run(
     for policy in policies:
         if policy not in PLACEMENT_POLICIES:
             raise ValueError(f"unknown policy {policy!r}; known: {PLACEMENT_POLICIES}")
-    if fleet is None:
-        fleet = CLUSTER_FLEET[:4] if quick else CLUSTER_FLEET
-    if bins is None:
-        bins = 10 if quick else 24
-    if bin_s is None:
-        bin_s = 3.0 if quick else 10.0
+    if trace_file is not None:
+        trace_set = load_trace_file(trace_file)
+        fleet = tuple(
+            (t.function, t.model, t.shape, round(t.mean_rps, 3)) for t in trace_set.traces
+        )
+        bins = max(len(t.counts) for t in trace_set.traces)
+        bin_s = trace_set.traces[0].bin_s
+        if trace_set.seed is not None:
+            seed = trace_set.seed
+    else:
+        if fleet is None:
+            fleet = CLUSTER_FLEET[:4] if quick else CLUSTER_FLEET
+        if bins is None:
+            bins = 10 if quick else 24
+        if bin_s is None:
+            bin_s = 3.0 if quick else 10.0
+        trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
     interval = 0.5 if quick else 1.0
 
-    trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
     outcomes = tuple(
         _replay_policy(trace_set, nodes, policy, seed, interval) for policy in policies
     )

@@ -1,0 +1,369 @@
+"""Fig. 15 (extension) — predictive pre-warming vs reactive autoscaling.
+
+The PR 2 cluster replay showed the reactive Algorithm-1 scaler leaves
+flash-crowd and cold-tail functions with heavy SLO violations: by the time
+``ΔRPS`` goes positive, every queued request eats the full cold start plus
+the capacity ramp.  This experiment replays the fig14 **cold/bursty** trace
+subset over the same heterogeneous cluster under three autoscaling modes:
+
+* ``reactive``    — the paper's Algorithm 1 alone (degenerate controller);
+* ``predictive``  — the hybrid forecaster (Holt-EWMA + Azure-style
+  histogram keep-alive): WARM_IDLE spares promote instantly on pending
+  requests, clumps are pre-warmed ahead of their predicted arrival, and
+  idle functions scale to zero past the keep-alive tail;
+* ``oracle``      — forecasters that read the replayed trace itself (the
+  upper bound on what prediction can buy).
+
+Every mode replays the *same* seeded trace set, so differences in
+SLO-violation rate, cold-start exposure, and GPU-seconds are attributable
+to the autoscaling policy alone.  ``python -m repro prewarm-bench`` runs
+this and writes ``BENCH_prewarm.json``; the acceptance bar is the
+predictive policy cutting the cold-trace SLO-violation rate by ≥2× vs the
+reactive baseline at ≤15% extra GPU-seconds.
+
+Two deliberate defaults: the replay horizon is **36 bins** (vs fig14's 24)
+because prediction needs repetition — a horizon with a single clump per
+cold function measures only the unpredictable first-ever cold start, not
+the steady state any histogram policy converges to; and the cluster gets a
+**fifth node** so the reactive-vs-predictive comparison measures control
+policy, not hard capacity exhaustion (on a saturated cluster every policy
+degenerates to "whoever grabbed space first wins").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.autoscaler.forecast import OracleForecaster
+from repro.faas.loadgen import OpenLoopGenerator
+from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
+from repro.experiments.fig14_cluster import CLUSTER_FLEET, QUICK_NODES
+from repro.models import MODEL_ZOO
+from repro.platform import FaSTGShare
+from repro.profiler import ProfileDatabase
+
+#: The fig14 cold/bursty subset — the traffic shapes where cold starts bite.
+PREWARM_FLEET: tuple[tuple[str, str, str, float], ...] = tuple(
+    row for row in CLUSTER_FLEET if row[2] in ("cold", "bursty")
+)
+
+#: Autoscaling modes compared by this experiment.
+SCALING_POLICIES = ("reactive", "predictive", "oracle")
+
+#: Default node set: fig14's heterogeneous cluster plus one V100 of headroom.
+PREWARM_NODES: tuple[str, ...] = ("V100", "V100", "V100", "A100", "T4")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PrewarmOutcome:
+    """Replay metrics of one autoscaling mode over the shared trace set."""
+
+    policy: str
+    submitted: int
+    completed: int
+    slo_violation_ratio: float
+    per_function_violations: dict[str, float]
+    p95_ms: float
+    cold_hit_requests: int
+    cold_wait_ms_mean: float
+    queue_wait_ms_mean: float
+    pod_cold_starts: int
+    prewarms: int
+    promotions: int
+    retirements: int
+    gpu_seconds: float
+    mean_gpus: float
+    peak_gpus: int
+    scale_ups: int
+    scale_downs: int
+    nofit_events: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class PrewarmResult:
+    """All modes' outcomes plus the replayed-trace metadata."""
+
+    nodes: tuple[str, ...]
+    functions: tuple[tuple[str, str, str, float], ...]
+    trace_seed: int
+    bins: int
+    bin_s: float
+    duration: float
+    outcomes: tuple[PrewarmOutcome, ...]
+
+    def outcome(self, policy: str) -> PrewarmOutcome:
+        for out in self.outcomes:
+            if out.policy == policy:
+                return out
+        raise KeyError(f"no outcome for policy {policy!r}")
+
+    @property
+    def violation_improvement(self) -> float:
+        """Reactive ÷ predictive SLO-violation rate (≥2 is the target)."""
+        predictive = self.outcome("predictive").slo_violation_ratio
+        reactive = self.outcome("reactive").slo_violation_ratio
+        if predictive <= 0:
+            return float("inf") if reactive > 0 else 1.0
+        return reactive / predictive
+
+    @property
+    def gpu_seconds_overhead(self) -> float:
+        """Predictive ÷ reactive GPU-seconds − 1 (≤0.15 is the target)."""
+        reactive = self.outcome("reactive").gpu_seconds
+        if reactive <= 0:
+            return 0.0
+        return self.outcome("predictive").gpu_seconds / reactive - 1.0
+
+
+def _replay_policy(
+    trace_set: TraceSet,
+    nodes: _t.Sequence[str],
+    policy: str,
+    seed: int,
+    interval: float,
+    sample_dt: float = 1.0,
+) -> PrewarmOutcome:
+    """Replay the trace set on a fresh platform under one autoscaling mode."""
+    platform = FaSTGShare.build(nodes=nodes, sharing="fast", seed=seed)
+    slo_by_function: dict[str, float] = {}
+    models = {}
+    for trace in trace_set.traces:
+        spec = platform.register_function(trace.function, model=trace.model, model_sharing=True)
+        slo_by_function[trace.function] = spec.slo_ms
+        models[trace.function] = MODEL_ZOO[trace.model]
+    database = ProfileDatabase.analytic(models)
+
+    forecasters = None
+    autoscale_policy = "reactive"
+    if policy == "predictive":
+        autoscale_policy = "hybrid"
+    elif policy == "oracle":
+        autoscale_policy = "oracle"
+        forecasters = {
+            trace.function: OracleForecaster(trace, lead_s=4.0)
+            for trace in trace_set.traces
+        }
+    scheduler = platform.start_autoscaler(
+        database,
+        interval=interval,
+        headroom=1.3,
+        scale_down_cooldown=8.0,
+        placement_policy="binpack",
+        policy=autoscale_policy,
+        forecasters=forecasters,
+    )
+    scheduler.down_hysteresis = 0.3
+
+    # One warm pod per function at its efficient point (all modes start from
+    # the same deployed state; the predictive modes may scale it to zero).
+    for trace in trace_set.traces:
+        p_eff = scheduler.scaler.p_eff(trace.function)
+        scheduler.place_pod(
+            platform.controllers[trace.function], p_eff.sm_partition, p_eff.quota, p_eff.quota
+        )
+    platform.wait_ready()
+
+    engine = platform.engine
+    t0 = engine.now
+    if forecasters:
+        for forecaster in forecasters.values():
+            forecaster.origin = t0  # trace offset 0 == replay start
+    platform.cluster.reset_metrics()
+    for trace in trace_set.traces:
+        OpenLoopGenerator(engine, platform.gateway, trace.function, trace.to_workload())
+
+    horizon = trace_set.duration
+    samples: list[int] = []
+
+    def sample() -> None:
+        samples.append(scheduler.placement.gpus_in_use())
+        if engine.now < t0 + horizon:
+            engine.schedule(sample_dt, sample)
+
+    engine.schedule(sample_dt, sample)
+    engine.run(until=t0 + horizon + 2.0)
+    scheduler.stop()
+
+    log = platform.gateway.log.in_window(t0, engine.now)
+    per_function: dict[str, float] = {}
+    violated = 0
+    total = 0
+    for trace in trace_set.traces:
+        flog = log.for_function(trace.function)
+        lat = flog.latencies_ms()
+        slo = slo_by_function[trace.function]
+        over = int((lat > slo).sum()) if lat.size else 0
+        per_function[trace.function] = over / lat.size if lat.size else 0.0
+        violated += over
+        total += int(lat.size)
+
+    cold_waits = log.cold_waits_ms()
+    queue_waits = log.queue_waits_ms()
+    predictive = scheduler.predictive
+    submitted = sum(platform.gateway.submitted[t.function] for t in trace_set.traces)
+    return PrewarmOutcome(
+        policy=policy,
+        submitted=submitted,
+        completed=total,
+        slo_violation_ratio=violated / total if total else 0.0,
+        per_function_violations=per_function,
+        p95_ms=log.latency_percentile_ms(95),
+        cold_hit_requests=log.cold_hits(),
+        cold_wait_ms_mean=float(cold_waits.mean()) if cold_waits.size else 0.0,
+        queue_wait_ms_mean=float(queue_waits.mean()) if queue_waits.size else 0.0,
+        pod_cold_starts=sum(1 for e in scheduler.events if e.action == "up")
+        + len(trace_set.traces)  # the pre-placed warm pods cold-started too
+        + predictive.prewarms,
+        prewarms=predictive.prewarms,
+        promotions=platform.gateway.promotions,
+        retirements=predictive.retirements,
+        gpu_seconds=sum(samples) * sample_dt,
+        mean_gpus=sum(samples) / len(samples) if samples else 0.0,
+        peak_gpus=max(samples) if samples else 0,
+        scale_ups=sum(1 for e in scheduler.events if e.action == "up"),
+        scale_downs=sum(1 for e in scheduler.events if e.action == "down"),
+        nofit_events=sum(1 for e in scheduler.events if e.action == "nofit"),
+    )
+
+
+def run(
+    quick: bool = False,
+    seed: int = 42,
+    nodes: _t.Sequence[str] | None = None,
+    policies: _t.Sequence[str] | None = None,
+    bins: int | None = None,
+    bin_s: float | None = None,
+    fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
+    trace_file: str | None = None,
+) -> PrewarmResult:
+    """Replay the cold/bursty trace set under each autoscaling mode.
+
+    ``trace_file`` replays a committed trace file (see
+    :func:`repro.faas.traces.load_trace_file`) instead of synthesizing one.
+    """
+    if nodes is None:
+        nodes = QUICK_NODES if quick else PREWARM_NODES
+    if policies is None:
+        policies = SCALING_POLICIES
+    for policy in policies:
+        if policy not in SCALING_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {SCALING_POLICIES}")
+    if trace_file is not None:
+        trace_set = load_trace_file(trace_file)
+        fleet = tuple(
+            (t.function, t.model, t.shape, round(t.mean_rps, 3)) for t in trace_set.traces
+        )
+        bins = max(len(t.counts) for t in trace_set.traces)
+        bin_s = trace_set.traces[0].bin_s
+        if trace_set.seed is not None:
+            seed = trace_set.seed
+    else:
+        if fleet is None:
+            fleet = PREWARM_FLEET[:3] if quick else PREWARM_FLEET
+        if bins is None:
+            bins = 10 if quick else 36
+        if bin_s is None:
+            bin_s = 3.0 if quick else 10.0
+        trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
+    interval = 0.5 if quick else 1.0
+
+    outcomes = tuple(
+        _replay_policy(trace_set, nodes, policy, seed, interval) for policy in policies
+    )
+    return PrewarmResult(
+        nodes=tuple(nodes),
+        functions=tuple(fleet),
+        trace_seed=seed,
+        bins=bins,
+        bin_s=bin_s,
+        duration=trace_set.duration,
+        outcomes=outcomes,
+    )
+
+
+def format_result(result: PrewarmResult) -> str:
+    lines = [
+        "Fig. 15 — predictive pre-warming vs reactive autoscaling (cold/bursty traces)",
+        f"  nodes: {', '.join(result.nodes)}   fleet: {len(result.functions)} functions, "
+        f"trace {result.bins}x{result.bin_s:.0f}s bins, seed {result.trace_seed}",
+        "  policy      SLO-viol%  p95(ms)  cold-hits  cold-wait(ms)  GPU-s   "
+        "prewarm/promote/retire",
+    ]
+    for out in result.outcomes:
+        lines.append(
+            f"  {out.policy:<11} {100 * out.slo_violation_ratio:8.2f} {out.p95_ms:8.1f} "
+            f"{out.cold_hit_requests:10d} {out.cold_wait_ms_mean:13.1f} {out.gpu_seconds:7.0f}  "
+            f"{out.prewarms}/{out.promotions}/{out.retirements}"
+        )
+    try:
+        improvement = result.violation_improvement
+        overhead = result.gpu_seconds_overhead
+        lines.append(
+            f"  predictive vs reactive: {improvement:.1f}x fewer SLO violations at "
+            f"{100 * overhead:+.1f}% GPU-seconds (targets: >=2x, <=+15%)"
+        )
+    except KeyError:
+        pass  # a policy subset without both reactive and predictive
+    for out in result.outcomes:
+        worst = max(out.per_function_violations.items(), key=lambda kv: kv[1])
+        lines.append(
+            f"  [{out.policy}] completed {out.completed}/{out.submitted}, "
+            f"worst function {worst[0]} at {100 * worst[1]:.2f}% violations"
+        )
+    return "\n".join(lines)
+
+
+def report_payload(result: PrewarmResult) -> dict:
+    """The ``BENCH_prewarm.json`` payload for one run."""
+    payload: dict[str, _t.Any] = {
+        "benchmark": "prewarm",
+        "nodes": list(result.nodes),
+        "functions": [
+            {"function": f, "model": m, "shape": s, "mean_rps": r}
+            for f, m, s, r in result.functions
+        ],
+        "trace": {"seed": result.trace_seed, "bins": result.bins, "bin_s": result.bin_s},
+        "duration_s": result.duration,
+        "policies": {
+            out.policy: {
+                "slo_violation_ratio": out.slo_violation_ratio,
+                "per_function_violations": out.per_function_violations,
+                "p95_ms": out.p95_ms,
+                "cold_hit_requests": out.cold_hit_requests,
+                "cold_wait_ms_mean": out.cold_wait_ms_mean,
+                "queue_wait_ms_mean": out.queue_wait_ms_mean,
+                "pod_cold_starts": out.pod_cold_starts,
+                "prewarms": out.prewarms,
+                "promotions": out.promotions,
+                "retirements": out.retirements,
+                "gpu_seconds": out.gpu_seconds,
+                "mean_gpus": out.mean_gpus,
+                "peak_gpus": out.peak_gpus,
+                "submitted": out.submitted,
+                "completed": out.completed,
+                "scale_ups": out.scale_ups,
+                "scale_downs": out.scale_downs,
+                "nofit_events": out.nofit_events,
+            }
+            for out in result.outcomes
+        },
+    }
+    try:
+        payload["headline"] = {
+            "violation_improvement_vs_reactive": result.violation_improvement,
+            "gpu_seconds_overhead_vs_reactive": result.gpu_seconds_overhead,
+        }
+    except KeyError:
+        pass
+    return payload
+
+
+def write_prewarm_report(path: str, result: PrewarmResult) -> dict:
+    """Serialize :func:`report_payload` to ``path``; returns the payload."""
+    payload = report_payload(result)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

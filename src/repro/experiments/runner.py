@@ -40,6 +40,7 @@ from repro.experiments import (
     fig12_autoscaling,
     fig13_modelsharing,
     fig14_cluster,
+    fig15_prewarm,
     headline,
 )
 
@@ -53,6 +54,7 @@ SIMPLE_EXPERIMENTS: dict[str, _t.Any] = {
     "fig12": fig12_autoscaling,
     "fig13": fig13_modelsharing,
     "fig14": fig14_cluster,
+    "fig15": fig15_prewarm,
     "headline": headline,
 }
 

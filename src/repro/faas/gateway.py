@@ -5,6 +5,14 @@ Responsibilities (paper Fig. 2):
 * request intake and **least-loaded routing** across a function's ready
   replicas (requests park in a pending queue while every replica is cold —
   no request is lost during scale-up);
+* **warm-idle promotion**: pre-warmed (``WARM_IDLE``) replicas register in a
+  per-function warm pool; the moment a request parks with no accepting
+  replica, the gateway promotes a warm replica — the request is absorbed at
+  the same simulation time instead of eating a cold start;
+* **cold-wait attribution**: time a request spends parked because *no*
+  replica was accepting is recorded as ``Request.cold_wait``, separately
+  from ordinary replica-queue wait, so experiments can attribute pre-warming
+  wins;
 * completion bookkeeping into the :class:`~repro.faas.requests.RequestLog`;
 * **RPS observation**: per-function arrival bins, from which the FaST
   Scheduler reads its predicted request loads (``R_j``).
@@ -25,23 +33,51 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 
 class Gateway:
-    """Request router + RPS observer."""
+    """Request router + RPS observer.
 
-    def __init__(self, engine: "Engine", registry: FunctionRegistry, rps_bin_s: float = 1.0):
+    ``promote_load_threshold`` drives backpressure promotion: when the
+    least-loaded accepting replica already has this many requests
+    outstanding, a warm spare (if any) is promoted alongside the routing —
+    the flash-crowd absorber that makes pre-warming effective while
+    replicas still exist (the pending-queue path only covers scale-from-zero).
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        registry: FunctionRegistry,
+        rps_bin_s: float = 1.0,
+        promote_load_threshold: int = 3,
+    ):
+        if promote_load_threshold < 1:
+            raise ValueError("promote_load_threshold must be >= 1")
         self.engine = engine
         self.registry = registry
         self.rps_bin_s = rps_bin_s
+        self.promote_load_threshold = promote_load_threshold
         self.log = RequestLog()
         self._replicas: dict[str, list["FunctionReplica"]] = collections.defaultdict(list)
         self._pending: dict[str, collections.deque[Request]] = collections.defaultdict(collections.deque)
+        #: WARM_IDLE replicas available for promotion, FIFO per function.
+        self._warm: dict[str, list["FunctionReplica"]] = collections.defaultdict(list)
+        #: promotions triggered but not yet serving (replica_ready pending).
+        self._promoting: dict[str, int] = collections.defaultdict(int)
+        self.promotions = 0
+        #: per-function promotion counts (the scheduler treats a promotion
+        #: as a scale-up for cooldown purposes — no immediate drain-back).
+        self.promotions_by_function: dict[str, int] = collections.defaultdict(int)
         self._rr: dict[str, int] = collections.defaultdict(int)
         #: per-function arrival counts in fixed wall-clock bins (RPS signal).
         self._arrival_bins: dict[str, collections.Counter] = collections.defaultdict(collections.Counter)
+        #: most recent arrival time per function (keep-alive signal).
+        self.last_arrival: dict[str, float] = {}
         self.submitted: dict[str, int] = collections.defaultdict(int)
 
     # -- replica membership (called by the FaSTPod controller / replicas) -------
     def replica_ready(self, replica: "FunctionReplica") -> None:
         name = replica.function.name
+        if replica.consume_promotion():
+            self._promoting[name] = max(0, self._promoting[name] - 1)
         if replica not in self._replicas[name]:
             self._replicas[name].append(replica)
         self._drain_pending(name)
@@ -52,9 +88,56 @@ class Gateway:
             self._replicas[name].remove(replica)
         except ValueError:
             pass
+        try:
+            self._warm[name].remove(replica)
+        except ValueError:
+            pass
+        if replica.consume_promotion():
+            # Promoted but evicted before it ever became ready.
+            self._promoting[name] = max(0, self._promoting[name] - 1)
 
     def replicas(self, function: str) -> list["FunctionReplica"]:
         return list(self._replicas[function])
+
+    # -- warm pool (WARM_IDLE replicas awaiting promotion) ----------------------
+    def replica_warm(self, replica: "FunctionReplica") -> None:
+        """Register a replica that finished its cold start in WARM_IDLE."""
+        name = replica.function.name
+        if replica not in self._warm[name]:
+            self._warm[name].append(replica)
+        # A request may already be parked (it raced the pre-warm): promote.
+        self._promote_warm(name)
+
+    def warm_replicas(self, function: str) -> list["FunctionReplica"]:
+        return list(self._warm[function])
+
+    def claim_warm(self, function: str) -> "FunctionReplica | None":
+        """Promote and return the oldest warm replica (None if pool empty).
+
+        Used by the scheduler's scale-up path: promoting an already-warm pod
+        is strictly cheaper than placing and cold-starting a new one.
+        """
+        warm = self._warm[function]
+        if not warm:
+            return None
+        replica = warm.pop(0)
+        self._promoting[function] += 1
+        self.promotions += 1
+        self.promotions_by_function[function] += 1
+        replica.promote()
+        return replica
+
+    def _promote_warm(self, function: str) -> None:
+        """Promote warm replicas to absorb parked requests (one per request)."""
+        warm = self._warm[function]
+        in_flight = self._promoting[function]
+        while warm and len(self._pending[function]) > in_flight:
+            replica = warm.pop(0)
+            replica.promote()
+            in_flight += 1
+            self.promotions += 1
+            self.promotions_by_function[function] += 1
+        self._promoting[function] = in_flight
 
     # -- intake & routing ----------------------------------------------------------
     def submit(self, function: str, done_event=None) -> Request:
@@ -66,13 +149,18 @@ class Gateway:
         self.submitted[function] += 1
         self.log.note_submitted()
         self._arrival_bins[function][math.floor(now / self.rps_bin_s)] += 1
+        self.last_arrival[function] = now
         self._route(request)
         return request
 
     def _route(self, request: Request) -> None:
         candidates = [r for r in self._replicas[request.function] if r.accepting]
         if not candidates:
+            # Park: the wait from here until a replica accepts is
+            # cold-start-attributable (no replica was accepting at all).
+            request.parked_at = self.engine.now
             self._pending[request.function].append(request)
+            self._promote_warm(request.function)
             return
         # Least-loaded; round-robin among ties for determinism without bias.
         min_load = min(r.load for r in candidates)
@@ -80,11 +168,19 @@ class Gateway:
         index = self._rr[request.function] % len(tied)
         self._rr[request.function] += 1
         tied[index].enqueue(request)
+        # Backpressure promotion: queueing has started — wake one warm spare
+        # per routed request until the pressure clears.
+        if min_load >= self.promote_load_threshold:
+            self.claim_warm(request.function)
 
     def _drain_pending(self, function: str) -> None:
         pending = self._pending[function]
         while pending and any(r.accepting for r in self._replicas[function]):
-            self._route(pending.popleft())
+            request = pending.popleft()
+            if request.parked_at is not None:
+                request.cold_wait += self.engine.now - request.parked_at
+                request.parked_at = None
+            self._route(request)
 
     def reroute(self, requests: _t.Iterable[Request]) -> None:
         """Re-admit requests a draining/killed replica could not finish."""
@@ -130,6 +226,14 @@ class Gateway:
         if elapsed >= 0.3 * self.rps_bin_s:
             prediction = max(prediction, bins.get(current, 0) / elapsed)
         return prediction
+
+    def arrival_bins(self, function: str) -> _t.Mapping[int, int]:
+        """Per-bin arrival counts (bin index = floor(t / rps_bin_s)) — the
+        observation stream the predictive forecasters consume."""
+        return self._arrival_bins[function]
+
+    def pending_count(self, function: str) -> int:
+        return len(self._pending[function])
 
     @property
     def pending_total(self) -> int:

@@ -39,6 +39,7 @@ class FunctionReplica:
         function: FunctionSpec,
         gateway: "Gateway",
         rng: "np.random.Generator | None" = None,
+        warm_idle: bool = False,
     ):
         self.engine = engine
         self.pod = pod
@@ -52,6 +53,13 @@ class FunctionReplica:
         self.in_flight: Request | None = None
         self.started_at: float | None = None
         self.requests_served = 0
+        #: pre-warm mode: after the cold start the replica parks in
+        #: ``WARM_IDLE`` (memory held, zero quota) until :meth:`promote`.
+        self._warm_start = warm_idle
+        self.warm_idle = False
+        self.promoted_at: float | None = None
+        self._promotion_counted = False
+        self._promote_event = None
         self._proc = engine.process(self._serve(), name=f"replica:{pod.pod_id}")
 
     # -- queue/load introspection (used by gateway routing) -----------------------
@@ -73,10 +81,38 @@ class FunctionReplica:
     def accepting(self) -> bool:
         return self.ready and not self.draining
 
+    @property
+    def warm_pending(self) -> bool:
+        """True for a pre-warmed replica from creation until promotion —
+        including the cold-start phase before it parks in WARM_IDLE.  Such a
+        replica contributes no serving capacity."""
+        return self._warm_start and self.promoted_at is None
+
     def enqueue(self, request: Request) -> None:
         if not self.accepting:
             raise RuntimeError(f"replica {self.replica_id} is not accepting requests")
         self.queue.put(request)
+
+    # -- pre-warm promotion ------------------------------------------------------
+    def promote(self) -> None:
+        """Wake a ``WARM_IDLE`` replica into serving.
+
+        The serve loop resumes at the current simulation time: the pod
+        transitions to ``RUNNING`` and registers with the gateway, so a
+        pending request is absorbed without paying any cold start.
+        """
+        if not self.warm_idle or self._promote_event is None:
+            raise RuntimeError(f"replica {self.replica_id} is not warm-idle")
+        if not self._promote_event.triggered:
+            self._promote_event.succeed(self)
+
+    def consume_promotion(self) -> bool:
+        """True exactly once for a replica that went through a promotion
+        (gateway bookkeeping of in-flight promotions)."""
+        if self.promoted_at is not None and not self._promotion_counted:
+            self._promotion_counted = True
+            return True
+        return False
 
     # -- serve loop -----------------------------------------------------------------
     def _serve(self):
@@ -88,6 +124,16 @@ class FunctionReplica:
                 yield from self.container.store_lib.load_shared(model)
             else:
                 yield self.engine.timeout(model.load_time_s)
+            if self._warm_start:
+                # Park warm: model resident, memory held, no gateway
+                # registration and no token traffic until promotion.
+                self.pod.transition(PodPhase.WARM_IDLE)
+                self.warm_idle = True
+                self._promote_event = self.engine.event(f"promote:{self.pod.pod_id}")
+                self.gateway.replica_warm(self)
+                yield self._promote_event
+                self.warm_idle = False
+                self.promoted_at = self.engine.now
             self.pod.transition(PodPhase.RUNNING)
             self.ready = True
             self.started_at = self.engine.now
@@ -108,6 +154,7 @@ class FunctionReplica:
                 self.gateway.complete(request)
         except Interrupt:
             # Hard stop (eviction): release any token and requeue what we hold.
+            self.warm_idle = False
             self.container.hook.release()
             leftovers = self.queue.drain()
             if self.in_flight is not None:

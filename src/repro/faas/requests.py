@@ -24,6 +24,13 @@ class Request:
     start: float | None = None
     end: float | None = None
     replica_id: str | None = None
+    #: seconds spent parked in the gateway pending queue because *no* replica
+    #: was accepting — cold-start-attributable delay, as opposed to ordinary
+    #: replica-queue wait behind other requests.
+    cold_wait: float = 0.0
+    #: transient: when the request was parked in the pending queue (unset
+    #: while routed to a replica).
+    parked_at: float | None = None
     #: settled on completion; closed-loop clients wait on it.
     done_event: "Event | None" = None
 
@@ -36,9 +43,16 @@ class Request:
 
     @property
     def queue_wait(self) -> float:
+        """Total pre-service wait (arrival → first service), seconds."""
         if self.start is None:
             raise ValueError(f"request {self.request_id} never started")
         return self.start - self.arrival
+
+    @property
+    def replica_queue_wait(self) -> float:
+        """Wait behind other requests on an *accepting* replica — the total
+        queue wait minus the cold-start-attributable pending-queue time."""
+        return max(0.0, self.queue_wait - self.cold_wait)
 
 
 class RequestLog:
@@ -73,6 +87,21 @@ class RequestLog:
     # -- analytics ----------------------------------------------------------------
     def latencies_ms(self) -> np.ndarray:
         return np.array([1000.0 * r.latency for r in self.completed], dtype=float)
+
+    def cold_waits_ms(self) -> np.ndarray:
+        """Per-request cold-start-attributable pending-queue wait (ms)."""
+        return np.array([1000.0 * r.cold_wait for r in self.completed], dtype=float)
+
+    def queue_waits_ms(self) -> np.ndarray:
+        """Per-request replica-queue wait, cold-start time excluded (ms)."""
+        return np.array(
+            [1000.0 * r.replica_queue_wait for r in self.completed if r.start is not None],
+            dtype=float,
+        )
+
+    def cold_hits(self) -> int:
+        """Requests that spent any time waiting on a cold start."""
+        return sum(1 for r in self.completed if r.cold_wait > 0.0)
 
     def latency_percentile_ms(self, percentile: float) -> float:
         latencies = self.latencies_ms()

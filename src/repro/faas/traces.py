@@ -201,6 +201,26 @@ def load_trace_set(path: str) -> TraceSet:
         return TraceSet.from_json(fh.read())
 
 
+def load_trace_file(path: str) -> TraceSet:
+    """Load a committed/public trace file for replay (ROADMAP "Trace realism").
+
+    Accepts the committed ``fast-gshare-trace/1`` schema — the same JSON the
+    synthesizer writes, so any externally converted trace (e.g. a slice of
+    the public Azure Functions dataset mapped to ``{function, model, counts,
+    bin_s}`` rows) replays through every bench unchanged.  Raises
+    ``ValueError`` with an actionable message on schema mismatch instead of a
+    bare ``KeyError``.
+    """
+    try:
+        return load_trace_set(path)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"{path}: malformed trace file ({exc!r}); expected the "
+            f"{TRACE_FORMAT!r} schema: {{'format': ..., 'traces': "
+            "[{'function', 'model', 'counts', 'bin_s', 'shape'}, ...]}"
+        ) from exc
+
+
 def synthesize_trace(
     function: str,
     model: str,

@@ -50,8 +50,13 @@ class FaSTPodController:
         sm_partition: float,
         quota_request: float,
         quota_limit: float,
+        warm: bool = False,
     ) -> FunctionReplica:
-        """Create + admit one replica with the given 2D resource config."""
+        """Create + admit one replica with the given 2D resource config.
+
+        ``warm=True`` creates a pre-warmed replica: it cold-starts, then
+        parks in ``WARM_IDLE`` (memory held, zero quota) until promoted.
+        """
         serial = next(self._serials)
         name = f"fastpod-{self.function.name}-{serial}"
         spec = PodSpec(
@@ -71,7 +76,9 @@ class FaSTPodController:
         # Stream keyed by the stable pod *name* (not pod_id, whose uid is a
         # process-global counter) so identical runs draw identical jitter.
         rng = self.engine.rng.stream(f"replica.{name}")
-        replica = FunctionReplica(self.engine, pod, container, self.function, self.gateway, rng)
+        replica = FunctionReplica(
+            self.engine, pod, container, self.function, self.gateway, rng, warm_idle=warm
+        )
         self.replicas[pod.pod_id] = replica
         return replica
 
@@ -103,10 +110,35 @@ class FaSTPodController:
     def replica_count(self) -> int:
         return len(self.replicas)
 
+    @property
+    def warm_count(self) -> int:
+        """Replicas currently parked in WARM_IDLE."""
+        return sum(1 for r in self.replicas.values() if r.warm_pending)
+
+    @property
+    def serving_count(self) -> int:
+        """Replicas that are (or will be, post cold start) serving traffic."""
+        return self.replica_count - self.warm_count
+
+    def warm_replicas(self) -> list[FunctionReplica]:
+        return [r for r in self.replicas.values() if r.warm_pending]
+
     def running_configs(self) -> list[tuple[str, float, float, float]]:
         """[(pod_id, sm, q_request, q_limit)] of live replicas."""
         return [
             (r.pod.pod_id, r.pod.spec.sm_partition, r.pod.spec.quota_request,
              r.pod.spec.quota_limit)
             for r in self.replicas.values()
+        ]
+
+    def serving_configs(self) -> list[tuple[str, float, float, float]]:
+        """Like :meth:`running_configs`, excluding WARM_IDLE replicas — a
+        parked pod contributes no throughput, so the scaling loop must not
+        count it as capacity (nor try to drain it; retirement is the
+        predictive layer's job)."""
+        return [
+            (r.pod.pod_id, r.pod.spec.sm_partition, r.pod.spec.quota_request,
+             r.pod.spec.quota_limit)
+            for r in self.replicas.values()
+            if not r.warm_pending
         ]

@@ -144,7 +144,7 @@ class GPUNode:
         container = self.containers.pop(pod.pod_id, None)
         if container is None:
             raise NodeError(f"pod {pod.pod_id} is not on {self.name}")
-        if pod.phase in (PodPhase.STARTING, PodPhase.RUNNING):
+        if pod.phase in (PodPhase.STARTING, PodPhase.WARM_IDLE, PodPhase.RUNNING):
             pod.transition(PodPhase.TERMINATING)
         container.close()
         pod.transition(PodPhase.TERMINATED)

@@ -19,10 +19,17 @@ _uid_counter = itertools.count(1)
 
 
 class PodPhase(enum.Enum):
-    """Pod lifecycle phases (Kubernetes semantics)."""
+    """Pod lifecycle phases (Kubernetes semantics + the warm-idle extension).
+
+    ``WARM_IDLE`` is the pre-warmed parking state the predictive autoscaler
+    uses: the container finished its cold start (model resident, memory
+    held) but the replica is not serving and consumes **zero time quota**
+    until promoted to ``RUNNING``.
+    """
 
     PENDING = "Pending"
     STARTING = "Starting"  # admitted to a node, container cold-starting
+    WARM_IDLE = "WarmIdle"  # pre-warmed: memory held, zero quota, not serving
     RUNNING = "Running"
     TERMINATING = "Terminating"
     TERMINATED = "Terminated"
@@ -88,7 +95,8 @@ class Pod:
         """Move through the lifecycle; invalid jumps raise."""
         allowed: dict[PodPhase, set[PodPhase]] = {
             PodPhase.PENDING: {PodPhase.STARTING, PodPhase.TERMINATED},
-            PodPhase.STARTING: {PodPhase.RUNNING, PodPhase.TERMINATING},
+            PodPhase.STARTING: {PodPhase.WARM_IDLE, PodPhase.RUNNING, PodPhase.TERMINATING},
+            PodPhase.WARM_IDLE: {PodPhase.RUNNING, PodPhase.TERMINATING},
             PodPhase.RUNNING: {PodPhase.TERMINATING},
             PodPhase.TERMINATING: {PodPhase.TERMINATED},
             PodPhase.TERMINATED: set(),

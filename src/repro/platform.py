@@ -77,6 +77,13 @@ class RunReport:
     slo_violation_ratio: float
     node_metrics: list[tuple[str, float, float]]
     log: RequestLog
+    #: mean wait behind other requests on an accepting replica (ms).
+    queue_wait_ms_mean: float = 0.0
+    #: mean pending-queue wait while *no* replica was accepting — the
+    #: cold-start-attributable share of latency (ms).
+    cold_wait_ms_mean: float = 0.0
+    #: requests that spent any time waiting on a cold start.
+    cold_hit_requests: int = 0
 
     def summary(self) -> str:
         lines = [
@@ -85,6 +92,9 @@ class RunReport:
             f"throughput={self.throughput:.2f} req/s  p50={self.p50_ms:.1f} ms  "
             f"p95={self.p95_ms:.1f} ms  p99={self.p99_ms:.1f} ms",
             f"SLO={self.slo_ms:.0f} ms  violations={100 * self.slo_violation_ratio:.2f}%",
+            f"queue wait {self.queue_wait_ms_mean:.1f} ms  "
+            f"cold wait {self.cold_wait_ms_mean:.1f} ms  "
+            f"cold hits {self.cold_hit_requests}",
         ]
         for name, util, occ in self.node_metrics:
             lines.append(f"  {name}: GPU util {util:5.1f}%   SM occupancy {occ:5.2f}%")
@@ -248,9 +258,36 @@ class FaSTGShare:
         min_replicas: int = 1,
         latency_headroom: float = 0.6,
         placement_policy: str = "binpack",
+        policy: str = "reactive",
+        forecasters: _t.Mapping[str, _t.Any] | None = None,
+        prewarm: _t.Any | None = None,
+        forecast_period_s: float | None = None,
     ) -> FaSTScheduler:
-        """Attach and start the FaST-Scheduler over the given profile DB."""
+        """Attach and start the FaST-Scheduler over the given profile DB.
+
+        ``policy`` selects the autoscaling mode
+        (:data:`~repro.autoscaler.controller.AUTOSCALE_POLICIES`):
+        ``reactive`` is the paper's Algorithm 1 alone (the degenerate
+        no-forecast configuration of the predictive controller); the
+        predictive kinds (``ewma``/``seasonal``/``histogram``/``hybrid``)
+        add per-function forecasting, WARM_IDLE pre-warming, keep-alive
+        windows, and scale-to-zero; ``oracle`` requires explicit
+        trace-built ``forecasters``.  ``prewarm`` overrides the default
+        :class:`~repro.autoscaler.policy.PreWarmPolicy`.
+        """
+        from repro.autoscaler.controller import build_autoscaler
+
         self.profile_db = database
+        predictive = build_autoscaler(
+            policy,
+            self.engine,
+            self.gateway,
+            self.controllers,
+            bin_s=self.gateway.rps_bin_s,
+            period_s=forecast_period_s,
+            forecasters=forecasters,
+            prewarm=prewarm,
+        )
         self.scheduler = FaSTScheduler(
             self.engine,
             self.cluster,
@@ -263,6 +300,7 @@ class FaSTGShare:
             min_replicas=min_replicas,
             latency_headroom=latency_headroom,
             placement_policy=placement_policy,
+            predictive=predictive,
         )
         self.scheduler.start()
         return self.scheduler
@@ -277,7 +315,8 @@ class FaSTGShare:
                 r
                 for name in names
                 for r in self.controllers[name].replicas.values()
-                if not r.ready
+                # WARM_IDLE pods stay not-ready until promoted by design.
+                if not r.ready and not r.warm_pending
             ]
             if not pending:
                 return
@@ -330,6 +369,8 @@ class FaSTGShare:
         window = self.gateway.log.in_window(t0, t1)
         window.completed = [r for r in window.completed if r.function == function]
         duration = t1 - t0
+        queue_waits = window.queue_waits_ms()
+        cold_waits = window.cold_waits_ms()
         return RunReport(
             function=function,
             duration=duration,
@@ -343,6 +384,9 @@ class FaSTGShare:
             slo_violation_ratio=violation_ratio(window, spec.slo_ms),
             node_metrics=self.cluster.node_metrics(),
             log=window,
+            queue_wait_ms_mean=float(queue_waits.mean()) if queue_waits.size else 0.0,
+            cold_wait_ms_mean=float(cold_waits.mean()) if cold_waits.size else 0.0,
+            cold_hit_requests=window.cold_hits(),
         )
 
     # -- conveniences -----------------------------------------------------------------

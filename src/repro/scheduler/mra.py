@@ -194,13 +194,39 @@ class MaximalRectanglesScheduler:
         w: float,
         h: float,
         allowed: _t.Callable[[str], bool] | None = None,
+        defrag: bool = True,
     ) -> tuple[str, Rect] | None:
         """Policy-scored node selection (default: global best matching).
 
         ``allowed`` filters nodes by out-of-band constraints (e.g. GPU
         memory).  Returns None when no rectangle fits anywhere — the paper's
         "a new GPU required".
+
+        The keep-reclamation policy returns removed rectangles to the free
+        list without merging, so physically contiguous free space can be
+        recorded as unmergeable strips and a tall/wide pod "no-fits" a node
+        that could actually host it.  With ``defrag=True`` (default), a
+        cluster-wide miss triggers a restructure of every fragmented GPU —
+        rebuilding free lists from the placed pods, which *does* merge — and
+        one retry, before conceding a new GPU is required.
         """
+        best = self._select(w, h, allowed)
+        if best is None and defrag:
+            dirty = False
+            for gpu in self.gpus.values():
+                if len(gpu.free) > 1:
+                    gpu.restructure()
+                    dirty = True
+            if dirty:
+                best = self._select(w, h, allowed)
+        return best
+
+    def _select(
+        self,
+        w: float,
+        h: float,
+        allowed: _t.Callable[[str], bool] | None = None,
+    ) -> tuple[str, Rect] | None:
         best: tuple[str, Rect] | None = None
         best_key = None
         for name, gpu in self.gpus.items():

@@ -2,15 +2,20 @@
 
 Every ``interval`` seconds, for each function:
 
-1. read the gateway's predicted request load ``R_j`` (× a small SLO-headroom
-   factor);
+1. run the predictive autoscaler tick (observe arrivals, pre-warm/retire
+   ``WARM_IDLE`` pods) and read its predicted request load ``R_j`` — the
+   reactive gateway signal blended with the forecast (× a small
+   SLO-headroom factor).  The reactive configuration is the *degenerate*
+   predictive controller (no forecasters), so there is exactly one path;
 2. compute the processing gap ``ΔRPS_j = R_j − Σ T_{j,i}`` over running and
-   starting pods (throughputs from the profile database);
+   starting pods (throughputs from the profile database); WARM_IDLE pods
+   contribute no capacity;
 3. run the Heuristic Scaling Algorithm;
-4. apply the plan: scale-ups are placed by the Maximal Rectangles Algorithm
-   (w = quota·100, h = SM partition) subject to node GPU-memory feasibility,
-   then handed to the FaSTPod controller; scale-downs drain their pods and
-   release their rectangles.
+4. apply the plan: a scale-up first *promotes* a warm pod if one is parked
+   (no cold start, no new rectangle); otherwise it is placed by the Maximal
+   Rectangles Algorithm (w = quota·100, h = SM partition) subject to node
+   GPU-memory feasibility, then handed to the FaSTPod controller;
+   scale-downs drain their pods and release their rectangles.
 
 A short scale-down cooldown after any scale-up prevents flapping on noisy
 predictions (the paper leaves this operational detail unspecified).
@@ -32,6 +37,7 @@ from repro.scheduler.autoscale import (
 from repro.scheduler.mra import MaximalRectanglesScheduler, NoFitError
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.autoscaler.controller import PredictiveAutoscaler
     from repro.k8s.cluster import Cluster
     from repro.faas.gateway import Gateway
     from repro.sim.engine import Engine
@@ -43,7 +49,7 @@ class SchedulerEvent:
 
     time: float
     function: str
-    action: str  # "up" | "down" | "nofit"
+    action: str  # "up" | "promote" | "down" | "nofit"
     sm_partition: float
     quota: float
     node: str | None
@@ -68,6 +74,7 @@ class FaSTScheduler:
         down_hysteresis: float = 0.10,
         max_down_per_tick: int = 1,
         placement_policy: str = "binpack",
+        predictive: "PredictiveAutoscaler | None" = None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -102,9 +109,18 @@ class FaSTScheduler:
             policy=placement_policy,
             node_factors=cluster.speed_factors(),
         )
+        if predictive is None:
+            # The reactive configuration is the *degenerate* predictive
+            # controller (no forecasters, no policy) — one control path.
+            from repro.autoscaler.controller import PredictiveAutoscaler
+
+            predictive = PredictiveAutoscaler(engine, gateway, self.controllers)
+        self.predictive = predictive
+        self.predictive.bind(self)
         self.events: list[SchedulerEvent] = []
         self.replica_series: list[tuple[float, dict[str, int]]] = []
         self._last_scale_up: dict[str, float] = {}
+        self._promotions_seen: dict[str, int] = {}
         self._handle = None
         self._running = False
 
@@ -127,10 +143,28 @@ class FaSTScheduler:
         sm_partition: float,
         quota_request: float,
         quota_limit: float,
+        warm: bool = False,
+        used_nodes_only: bool = False,
     ):
-        """MRA-place and start one replica; returns it (or raises NoFitError)."""
+        """MRA-place and start one replica; returns it (or raises NoFitError).
+
+        ``warm=True`` creates a pre-warmed pod: the full rectangle is
+        reserved (spatial cost explicit — promotion can never fail
+        placement) and GPU memory is held, but the replica parks in
+        ``WARM_IDLE`` and draws zero time quota until promoted.
+
+        ``used_nodes_only=True`` confines placement to nodes already
+        hosting pods — pre-warmed spares ride along on provisioned GPUs
+        instead of powering up an idle one (their whole point is hiding
+        latency, not growing the fleet).
+        """
         width = quota_limit * 100.0
         probe = self._memory_probe(controller)
+        if used_nodes_only:
+            memory_probe = probe
+
+            def probe(node_name: str) -> bool:  # noqa: F811 — deliberate wrap
+                return bool(self.placement.gpus[node_name].placed) and memory_probe(node_name)
         choice = self.placement.select_node(width, sm_partition, allowed=probe)
         if choice is None:
             raise NoFitError(
@@ -139,7 +173,7 @@ class FaSTScheduler:
             )
         node_name, rect = choice
         node = self.cluster.node(node_name)
-        replica = controller.scale_up(node, sm_partition, quota_request, quota_limit)
+        replica = controller.scale_up(node, sm_partition, quota_request, quota_limit, warm=warm)
         self.placement.gpus[node_name].place(replica.pod.pod_id, width, sm_partition, target=rect)
         self.placement._bindings[replica.pod.pod_id] = node_name
         return replica
@@ -162,10 +196,22 @@ class FaSTScheduler:
     # -- the control loop -----------------------------------------------------------
     def _tick(self) -> None:
         now = self.engine.now
+        # Predictive layer first: observe arrivals, pre-warm/retire WARM_IDLE
+        # pods, refresh per-function floors.  Reactive runs = a no-op tick.
+        self.predictive.on_tick()
         delta_rps: dict[str, float] = {}
         running: dict[str, list[RunningPod]] = {}
+        floors: dict[str, int] = {}
         for name, controller in self.controllers.items():
-            predicted = self.gateway.predicted_rps(name) * self.headroom
+            # Gateway promotions are scale-ups the scheduler didn't make:
+            # honour the cooldown so the next tick doesn't drain them back.
+            promoted = self.gateway.promotions_by_function.get(name, 0)
+            if promoted > self._promotions_seen.get(name, 0):
+                self._promotions_seen[name] = promoted
+                self._last_scale_up[name] = now
+            predicted = self.predictive.predicted_rps(name) * self.headroom
+            floor = self.predictive.min_replicas_for(name, self.min_replicas)
+            floors[name] = floor
             pods = [
                 RunningPod(
                     pod_id=pod_id,
@@ -173,15 +219,15 @@ class FaSTScheduler:
                     quota=q_limit,
                     throughput=self._throughput_of(name, sm, q_limit, pod_id=pod_id),
                 )
-                for pod_id, sm, _q_req, q_limit in controller.running_configs()
+                for pod_id, sm, _q_req, q_limit in controller.serving_configs()
             ]
             running[name] = pods
             capacity = sum(p.throughput for p in pods)
             delta = predicted - capacity
             if delta < 0 and now - self._last_scale_up.get(name, -1e9) < self.scale_down_cooldown:
                 delta = 0.0  # cooldown: suppress scale-down right after scale-up
-            if delta < 0 and len(pods) <= self.min_replicas:
-                delta = 0.0  # keep at least min_replicas warm instances
+            if delta < 0 and len(pods) <= floor:
+                delta = 0.0  # keep at least the floor's warm instances
             if delta < 0 and -delta <= self.down_hysteresis * max(capacity, 1e-9):
                 delta = 0.0  # hysteresis: ignore marginal surpluses (noise)
             delta_rps[name] = delta
@@ -189,7 +235,7 @@ class FaSTScheduler:
         # Scale down gradually: draining several pods at once dumps their
         # queues onto the survivors and spikes the tail latency.
         downs_allowed = {
-            name: min(self.max_down_per_tick, max(0, len(pods) - self.min_replicas))
+            name: min(self.max_down_per_tick, max(0, len(pods) - floors[name]))
             for name, pods in running.items()
         }
         for action in self.scaler.plan(delta_rps, running):
@@ -209,6 +255,17 @@ class FaSTScheduler:
 
     def _apply_up(self, action: ScaleUpAction) -> None:
         controller = self.controllers[action.function]
+        # A parked WARM_IDLE pod beats a fresh placement: promotion costs
+        # nothing (model resident, rectangle already bound) and serves now.
+        warm = self.gateway.claim_warm(action.function)
+        if warm is not None:
+            self._last_scale_up[action.function] = self.engine.now
+            self.events.append(
+                SchedulerEvent(self.engine.now, action.function, "promote",
+                               warm.pod.spec.sm_partition, warm.pod.spec.quota_limit,
+                               warm.pod.node_name)
+            )
+            return
         try:
             # The scaler plans with Q as both request and limit; deploying at
             # [Q, Q] matches the profiling convention the throughputs assume.

@@ -1,0 +1,131 @@
+"""Unit tests for the pre-warm/retire policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscaler.policy import (
+    FunctionView,
+    PreWarmAction,
+    PreWarmPolicy,
+    RetireAction,
+)
+
+
+def view(**overrides) -> FunctionView:
+    base = dict(
+        function="fn",
+        serving=1,
+        warm=0,
+        warm_pod_ids=(),
+        capacity_rps=20.0,
+        pod_rps=20.0,
+        sm_partition=60.0,
+        quota=0.8,
+        cold_start_s=0.3,
+        slo_ms=250.0,
+        pending=0,
+        predicted_rps=None,
+        next_active=None,
+        idle_deadline=None,
+        active_rate=None,
+        last_arrival=None,
+    )
+    base.update(overrides)
+    return FunctionView(**base)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PreWarmPolicy(spares=-1)
+    with pytest.raises(ValueError):
+        PreWarmPolicy(headroom=0.5)
+    with pytest.raises(ValueError):
+        PreWarmPolicy(idle_reserve=2, max_idle_reserve=1)
+
+
+def test_lead_time_is_cold_start_aware():
+    policy = PreWarmPolicy(lead_safety=1.5, lead_margin_s=1.0)
+    slow = view(cold_start_s=2.0)
+    fast = view(cold_start_s=0.3)
+    assert policy.lead_time(slow) > policy.lead_time(fast)
+    assert policy.lead_time(fast) == pytest.approx(1.45)
+
+
+def test_spare_pool_for_recently_active_function():
+    policy = PreWarmPolicy(spares=1)
+    decision = policy.plan(10.0, [view(last_arrival=9.0)])
+    assert [a for a in decision.actions if isinstance(a, PreWarmAction)]
+    assert decision.min_replicas == {}  # not idle: default floor rules
+
+
+def test_no_spares_for_never_seen_function():
+    policy = PreWarmPolicy(spares=1)
+    decision = policy.plan(10.0, [view(last_arrival=None)])
+    assert decision.actions == []
+
+
+def test_predicted_activity_sizes_fleet_for_active_rate():
+    policy = PreWarmPolicy(headroom=1.2, max_prewarm_per_tick=4)
+    v = view(next_active=11.0, active_rate=60.0, pod_rps=20.0, last_arrival=None)
+    decision = policy.plan(10.0, [v])
+    prewarms = [a for a in decision.actions if isinstance(a, PreWarmAction)]
+    # ceil(60 * 1.2 / 20) = 4 pods wanted, 1 serving -> 3 pre-warms.
+    assert len(prewarms) == 3
+    assert all(a.reason == "predicted-activity" for a in prewarms)
+
+
+def test_keepalive_expiry_retires_beyond_reserve_and_floors_zero():
+    policy = PreWarmPolicy(idle_reserve=1)
+    v = view(
+        idle_deadline=5.0,
+        last_arrival=2.0,
+        warm=3,
+        warm_pod_ids=("w1", "w2", "w3"),
+    )
+    decision = policy.plan(50.0, [v])
+    retires = [a for a in decision.actions if isinstance(a, RetireAction)]
+    assert [r.pod_id for r in retires] == ["w2", "w3"]
+    assert decision.min_replicas == {"fn": 0}
+    assert "fn" in decision.idle
+
+
+def test_idle_reserve_is_sized_by_active_rate():
+    policy = PreWarmPolicy(idle_reserve=1, max_idle_reserve=4, headroom=1.2)
+    v = view(idle_deadline=5.0, last_arrival=2.0, active_rate=60.0, pod_rps=20.0)
+    decision = policy.plan(50.0, [v])
+    prewarms = [a for a in decision.actions if isinstance(a, PreWarmAction)]
+    assert prewarms and all(a.reason == "idle-reserve" for a in prewarms)
+    # Floor is NOT released until at least one warm pod is parked.
+    assert decision.min_replicas == {}
+
+
+def test_floor_released_once_reserve_parked():
+    policy = PreWarmPolicy(idle_reserve=1)
+    v = view(idle_deadline=5.0, last_arrival=2.0, warm=1, warm_pod_ids=("w1",))
+    decision = policy.plan(50.0, [v])
+    assert decision.min_replicas == {"fn": 0}
+
+
+def test_pending_requests_suppress_idle():
+    policy = PreWarmPolicy()
+    v = view(idle_deadline=5.0, last_arrival=2.0, pending=2, warm=1, warm_pod_ids=("w1",))
+    decision = policy.plan(50.0, [v])
+    assert not [a for a in decision.actions if isinstance(a, RetireAction)]
+    assert "fn" not in decision.idle
+
+
+def test_scale_to_zero_disabled_keeps_floor():
+    policy = PreWarmPolicy(scale_to_zero=False)
+    v = view(idle_deadline=5.0, last_arrival=2.0, warm=1, warm_pod_ids=("w1",))
+    decision = policy.plan(50.0, [v])
+    assert decision.min_replicas == {}
+    assert decision.idle == frozenset()
+
+
+def test_max_pods_per_function_caps_fleet():
+    policy = PreWarmPolicy(max_pods_per_function=2, max_prewarm_per_tick=8)
+    v = view(next_active=10.5, active_rate=500.0, pod_rps=10.0, last_arrival=10.0)
+    decision = policy.plan(10.0, [v])
+    prewarms = [a for a in decision.actions if isinstance(a, PreWarmAction)]
+    assert len(prewarms) == 1  # cap 2 total, 1 already serving

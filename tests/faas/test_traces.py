@@ -139,3 +139,34 @@ def test_workload_validation():
         TraceWorkload([1, -1])
     with pytest.raises(ValueError):
         TraceWorkload([1], bin_s=0.0)
+
+
+# -- trace-file loader (ROADMAP "Trace realism") -----------------------------------
+def test_load_trace_file_roundtrip(tmp_path):
+    from repro.faas.traces import load_trace_file, synthesize_trace_set
+
+    trace_set = synthesize_trace_set(
+        [("f1", "resnet50", "diurnal", 5.0)], bins=6, bin_s=2.0, seed=3
+    )
+    path = tmp_path / "t.json"
+    trace_set.save(str(path))
+    loaded = load_trace_file(str(path))
+    assert loaded == trace_set
+
+
+def test_load_trace_file_rejects_malformed_payload(tmp_path):
+    from repro.faas.traces import TRACE_FORMAT, load_trace_file
+
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "%s", "traces": [{"counts": [1]}]}' % TRACE_FORMAT)
+    with pytest.raises(ValueError, match="malformed trace file"):
+        load_trace_file(str(path))
+
+
+def test_load_trace_file_rejects_wrong_format_tag(tmp_path):
+    from repro.faas.traces import load_trace_file
+
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "something-else/9", "traces": []}')
+    with pytest.raises(ValueError, match="unsupported trace format"):
+        load_trace_file(str(path))

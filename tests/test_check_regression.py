@@ -73,3 +73,60 @@ def test_gate_rejects_bad_tolerance(tmp_path):
 def test_gate_passes_on_committed_baseline_against_itself():
     committed = str(_GATE_PATH.parent.parent / "BENCH_engine.json")
     assert check_regression.main(["--baseline", committed, "--fresh", committed]) == 0
+
+
+# -- prewarm gate -----------------------------------------------------------------
+def make_prewarm_report(reactive=0.05, predictive=0.01, oracle=0.005, nodes=None):
+    return {
+        "benchmark": "prewarm",
+        "nodes": list(nodes or ["V100", "A100"]),
+        "trace": {"seed": 42, "bins": 10, "bin_s": 3.0},
+        "policies": {
+            "reactive": {"slo_violation_ratio": reactive},
+            "predictive": {"slo_violation_ratio": predictive},
+            "oracle": {"slo_violation_ratio": oracle},
+        },
+    }
+
+
+def test_prewarm_gate_passes_within_tolerance(tmp_path):
+    baseline = write(tmp_path, "b.json", make_prewarm_report())
+    fresh = write(tmp_path, "f.json", make_prewarm_report(predictive=0.012))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_prewarm_gate_fails_on_violation_regression(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_prewarm_report(predictive=0.01))
+    fresh = write(tmp_path, "f.json", make_prewarm_report(predictive=0.03))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_prewarm_gate_fails_when_predictive_stops_beating_reactive(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_prewarm_report())
+    fresh = write(
+        tmp_path, "f.json", make_prewarm_report(reactive=0.01, predictive=0.20)
+    )
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "no longer beats reactive" in capsys.readouterr().err
+
+
+def test_prewarm_gate_allows_near_zero_noise(tmp_path):
+    baseline = write(tmp_path, "b.json", make_prewarm_report(predictive=0.0))
+    fresh = write(tmp_path, "f.json", make_prewarm_report(predictive=0.004))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_prewarm_gate_rejects_trace_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_prewarm_report())
+    mismatched = make_prewarm_report()
+    mismatched["trace"]["seed"] = 7
+    fresh = write(tmp_path, "f.json", mismatched)
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "mismatch" in capsys.readouterr().err
+
+
+def test_prewarm_gate_rejects_kind_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_prewarm_report())
+    fresh = write(tmp_path, "f.json", make_report(150.0))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2

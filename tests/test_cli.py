@@ -45,10 +45,29 @@ def test_bad_replicates_exits_nonzero(capsys):
     assert "--replicates" in capsys.readouterr().err
 
 
+def test_bad_prewarm_policy_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["prewarm-bench", "--quick", "--policies", "predictve"])
+    assert excinfo.value.code == 2
+    assert "unknown policy" in capsys.readouterr().err
+
+
+def test_trace_file_rejected_outside_benches(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fig12", "--trace-file", "foo.json"])
+    assert excinfo.value.code == 2
+    assert "--trace-file" in capsys.readouterr().err
+
+
+def test_missing_trace_file_exits_one(capsys):
+    assert main(["prewarm-bench", "--quick", "--trace-file", "/nonexistent.json"]) == 1
+
+
 def test_list_mentions_cluster_bench(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "cluster-bench" in out and "fig14" in out
+    assert "prewarm-bench" in out and "fig15" in out
 
 
 def test_cluster_bench_quick_writes_report(tmp_path, capsys):

@@ -17,6 +17,7 @@ from repro.experiments import (
     fig12_autoscaling,
     fig13_modelsharing,
     fig14_cluster,
+    fig15_prewarm,
 )
 
 
@@ -71,6 +72,44 @@ def test_fig14_quick():
     assert "cluster-scale trace replay" in fig14_cluster.format_result(result)
     payload = fig14_cluster.report_payload(result)
     assert set(payload["policies"]) == set(policies)
+
+
+def test_fig15_quick():
+    result = fig15_prewarm.run(quick=True)
+    assert [out.policy for out in result.outcomes] == list(fig15_prewarm.SCALING_POLICIES)
+    for out in result.outcomes:
+        assert out.completed > 0
+        assert 0.0 <= out.slo_violation_ratio <= 1.0
+        assert out.gpu_seconds > 0
+        assert set(out.per_function_violations) == {f for f, _, _, _ in result.functions}
+    reactive = result.outcome("reactive")
+    assert reactive.prewarms == 0 and reactive.promotions == 0
+    predictive = result.outcome("predictive")
+    assert predictive.prewarms > 0
+    assert "pre-warming" in fig15_prewarm.format_result(result)
+    payload = fig15_prewarm.report_payload(result)
+    assert payload["benchmark"] == "prewarm"
+    assert "headline" in payload
+    assert payload["headline"]["violation_improvement_vs_reactive"] > 0
+
+
+def test_fig15_trace_file_roundtrip(tmp_path):
+    from repro.faas.traces import synthesize_trace_set
+
+    trace_set = synthesize_trace_set(
+        [("bq", "bert", "bursty", 6.0), ("gt", "gnmt", "cold", 3.0)],
+        bins=8,
+        bin_s=3.0,
+        seed=5,
+    )
+    path = tmp_path / "traces.json"
+    trace_set.save(str(path))
+    result = fig15_prewarm.run(
+        quick=True, policies=["reactive", "predictive"], trace_file=str(path)
+    )
+    assert {f for f, _, _, _ in result.functions} == {"bq", "gt"}
+    assert result.trace_seed == 5  # the file's seed wins
+    assert result.bins == 8 and result.bin_s == 3.0
 
 
 def test_ablation_format():
