@@ -19,6 +19,11 @@ dispatched on the baseline's ``benchmark`` field:
   violation rate grows more than the relative tolerance (plus a small
   absolute epsilon for near-zero rates) over the committed baseline, or
   when the predictive policy stops beating the reactive baseline.
+* ``scenario`` — a ScenarioReport (``python -m repro scenario ... --output``).
+  Also deterministic: the gate fails when the overall or any per-function
+  SLO-violation rate grows past the tolerance (plus the same absolute
+  epsilon), or when the completed-request count drops by more than the
+  tolerance.  Baseline and fresh must replay the same scenario name/seed.
 
 Usage::
 
@@ -26,6 +31,8 @@ Usage::
         --baseline BENCH_engine.json --fresh BENCH_fresh.json [--tolerance 0.30]
     python benchmarks/check_regression.py \
         --baseline benchmarks/BENCH_prewarm_quick.json --fresh BENCH_prewarm_fresh.json
+    python benchmarks/check_regression.py \
+        --baseline benchmarks/BENCH_scenario_quick.json --fresh SCENARIO_fresh.json
 """
 
 from __future__ import annotations
@@ -39,7 +46,7 @@ import sys
 PREWARM_ABS_EPSILON = 0.005
 
 
-def load_report(path: str, kinds: tuple[str, ...] = ("engine", "prewarm")) -> dict:
+def load_report(path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario")) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     if report.get("benchmark") not in kinds:
@@ -87,6 +94,66 @@ def check_prewarm(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
             failures.append(
                 f"predictive policy no longer beats reactive: "
                 f"{100 * predictive:.2f}% vs {100 * reactive:.2f}% violations"
+            )
+    return failures
+
+
+def check_scenario(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Scenario-report gate: overall + per-function SLO-violation regressions."""
+    failures: list[str] = []
+    base_meta = baseline.get("scenario") or {}
+    fresh_meta = fresh.get("scenario") or {}
+    key = ("name", "seed")
+    base_id = [base_meta.get(k) for k in key] + [baseline.get("quick")]
+    fresh_id = [fresh_meta.get(k) for k in key] + [fresh.get("quick")]
+    if base_id != fresh_id:
+        raise ValueError(
+            "scenario mismatch: the gate compares deterministic replays of the "
+            "same scenario name/seed at the same quick/full horizon — "
+            f"baseline {base_id} vs fresh {fresh_id}"
+        )
+
+    def gate(label: str, base_rate: float, fresh_rate: float) -> None:
+        bound = base_rate * (1.0 + tolerance) + PREWARM_ABS_EPSILON
+        marker = "  [REGRESSION]" if fresh_rate > bound else ""
+        print(
+            f"slo_violation_ratio[{label:<18}]: baseline {100 * base_rate:6.2f}%   "
+            f"fresh {100 * fresh_rate:6.2f}%   bound {100 * bound:6.2f}%{marker}"
+        )
+        if fresh_rate > bound:
+            failures.append(
+                f"{label}: SLO-violation rate regressed {100 * base_rate:.2f}% -> "
+                f"{100 * fresh_rate:.2f}% (bound {100 * bound:.2f}%)"
+            )
+
+    gate(
+        "overall",
+        float(baseline["totals"]["slo_violation_ratio"]),
+        float(fresh["totals"]["slo_violation_ratio"]),
+    )
+    shared = sorted(set(baseline["functions"]) & set(fresh["functions"]))
+    if not shared:
+        raise ValueError("no common functions between baseline and fresh scenario reports")
+    for name in shared:
+        gate(
+            name,
+            float(baseline["functions"][name]["slo_violation_ratio"]),
+            float(fresh["functions"][name]["slo_violation_ratio"]),
+        )
+
+    base_completed = int(baseline["totals"]["completed"])
+    fresh_completed = int(fresh["totals"]["completed"])
+    if base_completed > 0:
+        drop = relative_drop(base_completed, fresh_completed)
+        note = "  [REGRESSION]" if drop > tolerance else ""
+        print(
+            f"completed            : baseline {base_completed:8d}   "
+            f"fresh {fresh_completed:8d}   drop {100 * drop:+6.1f}%{note}"
+        )
+        if drop > tolerance:
+            failures.append(
+                f"completed requests dropped {100 * drop:.1f}% "
+                f"({base_completed} -> {fresh_completed})"
             )
     return failures
 
@@ -165,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
         fresh = load_report(args.fresh, kinds=(kind,))
         if kind == "prewarm":
             failures = check_prewarm(baseline, fresh, args.tolerance)
+        elif kind == "scenario":
+            failures = check_scenario(baseline, fresh, args.tolerance)
         else:
             failures = check(baseline, fresh, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:

@@ -1,33 +1,40 @@
-"""Command-line entry point: run any paper experiment.
+"""Command-line entry point: subcommands for experiments, scenarios, benches.
 
 Usage::
 
     python -m repro list
-    python -m repro fig08 [--quick] [--seed 42]
-    python -m repro all --quick --jobs 4
-    python -m repro --jobs 4                 # full figure suite, parallel
-    python -m repro bench --quick            # writes BENCH_engine.json
-    python -m repro cluster-bench --quick    # writes BENCH_cluster.json
-    python -m repro prewarm-bench --quick    # writes BENCH_prewarm.json
+    python -m repro run fig08 [--quick] [--seed 42]
+    python -m repro run all --quick --jobs 4
+    python -m repro scenario examples/scenarios/cold_bursty.json [--quick]
+    python -m repro bench --quick                # writes BENCH_engine.json
+    python -m repro cluster-bench --quick        # writes BENCH_cluster.json
+    python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
 
-``--jobs N`` fans the selected experiments (and ``--replicates R`` seed
-replicates of each) across ``N`` worker processes via
-:mod:`repro.experiments.runner`; per-task seeds are deterministic, so the
-parallel run prints bit-identical results to the serial one.
+Each subcommand owns its flags (``--nodes`` belongs to the cluster benches,
+``--output`` to whatever report that subcommand writes) instead of leaking
+them into one global namespace.
+
+``run`` executes paper figures; ``--jobs N`` fans the selected experiments
+(and ``--replicates R`` seed replicates of each) across ``N`` worker
+processes via :mod:`repro.experiments.runner`; per-task seeds are
+deterministic, so the parallel run prints bit-identical results to the
+serial one.
+
+``scenario`` evaluates a committed declarative spec (see
+:mod:`repro.scenario`) through ``FaSTGShare.run_scenario`` — the same code
+path fig12/fig14/fig15 use — printing the report summary and optionally
+writing its JSON (``--output``).  A malformed spec (unknown field, bad
+policy, bad model) exits non-zero with the offending path.
 
 ``cluster-bench`` replays a production-shaped trace set over a heterogeneous
-GPU cluster under each placement policy (``--nodes``/``--policies``) and
-writes per-policy SLO-violation/GPU-count metrics to ``--cluster-output``.
+GPU cluster under each placement policy (``--nodes``/``--policies``);
+``prewarm-bench`` replays the cold/bursty subset under each *autoscaling*
+mode.  Both accept ``--trace-file`` to replay a committed trace file instead
+of synthesizing one.
 
-``prewarm-bench`` replays the cold/bursty trace subset under each
-*autoscaling* mode (reactive / predictive / oracle; ``--policies``) and
-writes per-policy SLO-violation/cold-start/GPU-seconds metrics to
-``--prewarm-output``.  Both benches accept ``--trace-file`` to replay a
-committed trace file instead of synthesizing one.
-
-Any invalid invocation (unknown experiment, bad ``--nodes``/``--policies``
-value) exits non-zero with a usage message, and an experiment that raises
-exits 1 — CI cannot silently pass on a typo'd bench run.
+Any invalid invocation (unknown subcommand, bad ``--nodes``/``--policies``
+value, malformed scenario) exits non-zero with a usage message, and an
+experiment that raises exits 1 — CI cannot silently pass on a typo'd run.
 """
 
 from __future__ import annotations
@@ -43,191 +50,14 @@ def _cmd_list() -> int:
     for name in runner.experiment_names():
         doc = (SIMPLE_EXPERIMENTS.get(name) or ablations).__doc__ or ""
         print(f"{name:<10} {doc.strip().splitlines()[0]}")
+    print("scenario   Run a declarative scenario spec (examples/scenarios/*.json).")
     print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
     print("prewarm-bench  Reactive-vs-predictive autoscaling replay (writes BENCH_prewarm.json).")
     return 0
 
 
-def _cmd_bench(quick: bool, jobs: int, output: str) -> int:
-    report = runner.write_benchmark_report(output, quick=quick, jobs=jobs)
-    churn = report["device_churn"]
-    ref = report["device_churn_reference"]
-    print(f"timer churn     : {report['timer_churn']['events_per_sec']:,.0f} events/s")
-    print(f"device churn    : {churn['bursts_per_sec']:,.0f} bursts/s (single-timer model)")
-    print(f"reference model : {ref['bursts_per_sec']:,.0f} bursts/s (seed semantics)")
-    print(f"speedup         : {report['speedup_vs_reference']:.1f}x")
-    if "parallel_runner" in report:
-        par = report["parallel_runner"]
-        print(
-            f"parallel runner : {par['speedup']:.2f}x on {par['jobs']} jobs "
-            f"(bit_identical={par['bit_identical']})"
-        )
-    print(f"[report written to {output}]")
-    return 0
-
-
-def _cmd_cluster_bench(
-    quick: bool,
-    seed: int,
-    nodes: list[str],
-    policies: list[str],
-    output: str,
-    trace_file: str | None,
-) -> int:
-    from repro.experiments import fig14_cluster
-
-    result = fig14_cluster.run(
-        quick=quick, seed=seed, nodes=nodes, policies=policies, trace_file=trace_file
-    )
-    print(fig14_cluster.format_result(result))
-    fig14_cluster.write_cluster_report(output, result)
-    print(f"[report written to {output}]")
-    return 0
-
-
-def _cmd_prewarm_bench(
-    quick: bool,
-    seed: int,
-    nodes: list[str] | None,
-    policies: list[str] | None,
-    output: str,
-    trace_file: str | None,
-) -> int:
-    from repro.experiments import fig15_prewarm
-
-    result = fig15_prewarm.run(
-        quick=quick, seed=seed, nodes=nodes, policies=policies, trace_file=trace_file
-    )
-    print(fig15_prewarm.format_result(result))
-    fig15_prewarm.write_prewarm_report(output, result)
-    print(f"[report written to {output}]")
-    return 0
-
-
-def _split_csv(raw: str) -> list[str]:
-    return [item.strip() for item in raw.split(",") if item.strip()]
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate FaST-GShare (ICPP 2023) experiments.",
-    )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        default="all",
-        choices=sorted(SIMPLE_EXPERIMENTS)
-        + ["ablations", "all", "list", "bench", "cluster-bench", "prewarm-bench"],
-        help="which experiment to run (or 'list' / 'all' / 'bench' / 'cluster-bench' / "
-        "'prewarm-bench'; default: all)",
-    )
-    parser.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for the experiment suite (default: 1 = serial)",
-    )
-    parser.add_argument(
-        "--replicates",
-        type=int,
-        default=1,
-        metavar="R",
-        help="seed replicates per experiment (deterministic derived seeds)",
-    )
-    parser.add_argument(
-        "--bench-output",
-        default="BENCH_engine.json",
-        metavar="PATH",
-        help="where 'bench' writes its JSON report",
-    )
-    parser.add_argument(
-        "--nodes",
-        default=None,
-        metavar="GPUS",
-        help="cluster-bench: comma-separated per-node GPU types, e.g. V100,A100,T4",
-    )
-    parser.add_argument(
-        "--policies",
-        default=None,
-        metavar="POLICIES",
-        help="cluster-bench: comma-separated placement policies "
-        "(binpack, spread, affinity; default: all)",
-    )
-    parser.add_argument(
-        "--cluster-output",
-        default="BENCH_cluster.json",
-        metavar="PATH",
-        help="where 'cluster-bench' writes its JSON report",
-    )
-    parser.add_argument(
-        "--prewarm-output",
-        default="BENCH_prewarm.json",
-        metavar="PATH",
-        help="where 'prewarm-bench' writes its JSON report",
-    )
-    parser.add_argument(
-        "--trace-file",
-        default=None,
-        metavar="PATH",
-        help="cluster-bench/prewarm-bench: replay a committed trace file "
-        "(fast-gshare-trace/1 JSON) instead of synthesizing one",
-    )
-    args = parser.parse_args(argv)
-    if args.replicates < 1:
-        parser.error(f"--replicates must be >= 1, got {args.replicates}")
-
-    if args.experiment == "list":
-        return _cmd_list()
-    if args.experiment == "bench":
-        return _cmd_bench(args.quick, args.jobs, args.bench_output)
-    if args.trace_file is not None and args.experiment not in ("cluster-bench", "prewarm-bench"):
-        parser.error("--trace-file only applies to cluster-bench / prewarm-bench")
-    if args.experiment in ("cluster-bench", "prewarm-bench"):
-        from repro.experiments.fig14_cluster import DEFAULT_NODES, QUICK_NODES
-        from repro.experiments.fig15_prewarm import PREWARM_NODES, SCALING_POLICIES
-        from repro.gpu.specs import GPU_CATALOG
-        from repro.scheduler.mra import PLACEMENT_POLICIES
-
-        prewarm = args.experiment == "prewarm-bench"
-        known_policies = SCALING_POLICIES if prewarm else PLACEMENT_POLICIES
-        default_nodes = PREWARM_NODES if prewarm else DEFAULT_NODES
-        if args.nodes is None:
-            nodes = list(QUICK_NODES if args.quick else default_nodes)
-        else:
-            nodes = [n.upper() for n in _split_csv(args.nodes)]
-        if len(nodes) < 1:
-            parser.error("--nodes needs at least one GPU type")
-        for name in nodes:
-            if name not in GPU_CATALOG:
-                parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
-        policies = list(known_policies) if args.policies is None else _split_csv(args.policies)
-        if not policies:
-            parser.error("--policies needs at least one policy")
-        for policy in policies:
-            if policy not in known_policies:
-                parser.error(f"unknown policy {policy!r}; known: {known_policies}")
-        try:
-            if prewarm:
-                return _cmd_prewarm_bench(
-                    args.quick, args.seed, nodes, policies, args.prewarm_output, args.trace_file
-                )
-            return _cmd_cluster_bench(
-                args.quick, args.seed, nodes, policies, args.cluster_output, args.trace_file
-            )
-        except BrokenPipeError:  # e.g. `python -m repro ...-bench | head`
-            return 0
-        except Exception as exc:  # bad trace file, bench blow-up: exit non-zero
-            import traceback
-
-            traceback.print_exc()
-            print(f"error: {args.experiment}: {exc}", file=sys.stderr)
-            return 1
-
+def _cmd_run(args: argparse.Namespace) -> int:
     names = runner.experiment_names() if args.experiment == "all" else [args.experiment]
     try:
         results = runner.iter_suite(
@@ -241,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
             print(result.output)
             tag = result.name if result.replicate == 0 else f"{result.name} r{result.replicate}"
             print(f"[{tag} finished in {result.elapsed:.1f}s]\n")
-    except BrokenPipeError:  # e.g. `python -m repro ... | head`
+    except BrokenPipeError:  # e.g. `python -m repro run ... | head`
         return 0
     except Exception as exc:  # experiment blew up: fail loudly, exit non-zero
         import traceback
@@ -250,6 +80,229 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {args.experiment}: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.platform import FaSTGShare
+    from repro.scenario import ScenarioError, load_scenario
+
+    try:
+        scenario = load_scenario(args.spec)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        scenario = dataclasses.replace(scenario, seed=args.seed)
+    try:
+        report = FaSTGShare.run_scenario(scenario, quick=args.quick)
+        print(report.summary())
+        if args.output:
+            report.save(args.output)
+            print(f"[report written to {args.output}]")
+    except BrokenPipeError:  # e.g. `python -m repro scenario ... | head`
+        return 0
+    except Exception as exc:  # bad trace reference, runner blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: scenario {scenario.name!r}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    report = runner.write_benchmark_report(args.output, quick=args.quick, jobs=args.jobs)
+    churn = report["device_churn"]
+    ref = report["device_churn_reference"]
+    print(f"timer churn     : {report['timer_churn']['events_per_sec']:,.0f} events/s")
+    print(f"device churn    : {churn['bursts_per_sec']:,.0f} bursts/s (single-timer model)")
+    print(f"reference model : {ref['bursts_per_sec']:,.0f} bursts/s (seed semantics)")
+    print(f"speedup         : {report['speedup_vs_reference']:.1f}x")
+    if "parallel_runner" in report:
+        par = report["parallel_runner"]
+        print(
+            f"parallel runner : {par['speedup']:.2f}x on {par['jobs']} jobs "
+            f"(bit_identical={par['bit_identical']})"
+        )
+    print(f"[report written to {args.output}]")
+    return 0
+
+
+def _split_csv(raw: str) -> list[str]:
+    return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def _cmd_cluster_like(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Shared driver for cluster-bench / prewarm-bench (validate, run, write)."""
+    from repro.experiments import fig14_cluster, fig15_prewarm
+    from repro.experiments.fig14_cluster import DEFAULT_NODES, QUICK_NODES
+    from repro.experiments.fig15_prewarm import PREWARM_NODES, SCALING_POLICIES
+    from repro.gpu.specs import GPU_CATALOG
+    from repro.scheduler.mra import PLACEMENT_POLICIES
+
+    prewarm = args.command == "prewarm-bench"
+    known_policies = SCALING_POLICIES if prewarm else PLACEMENT_POLICIES
+    default_nodes = PREWARM_NODES if prewarm else DEFAULT_NODES
+    if args.nodes is None:
+        nodes = list(QUICK_NODES if args.quick else default_nodes)
+    else:
+        nodes = [n.upper() for n in _split_csv(args.nodes)]
+    if len(nodes) < 1:
+        parser.error("--nodes needs at least one GPU type")
+    for name in nodes:
+        if name not in GPU_CATALOG:
+            parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
+    policies = list(known_policies) if args.policies is None else _split_csv(args.policies)
+    if not policies:
+        parser.error("--policies needs at least one policy")
+    for policy in policies:
+        if policy not in known_policies:
+            parser.error(f"unknown policy {policy!r}; known: {known_policies}")
+    try:
+        if prewarm:
+            result = fig15_prewarm.run(
+                quick=args.quick,
+                seed=args.seed,
+                nodes=nodes,
+                policies=policies,
+                trace_file=args.trace_file,
+            )
+            print(fig15_prewarm.format_result(result))
+            fig15_prewarm.write_prewarm_report(args.output, result)
+        else:
+            result = fig14_cluster.run(
+                quick=args.quick,
+                seed=args.seed,
+                nodes=nodes,
+                policies=policies,
+                trace_file=args.trace_file,
+            )
+            print(fig14_cluster.format_result(result))
+            fig14_cluster.write_cluster_report(args.output, result)
+        print(f"[report written to {args.output}]")
+        return 0
+    except BrokenPipeError:  # e.g. `python -m repro ...-bench | head`
+        return 0
+    except Exception as exc:  # bad trace file, bench blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: {args.command}: {exc}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate FaST-GShare (ICPP 2023) experiments and scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    p_run = sub.add_parser("run", help="run paper figure experiments")
+    p_run.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        choices=sorted(SIMPLE_EXPERIMENTS) + ["ablations", "all"],
+        help="which experiment to run (default: all)",
+    )
+    p_run.add_argument("--quick", action="store_true", help="shrunk durations for a fast pass")
+    p_run.add_argument("--seed", type=int, default=42)
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the experiment suite (default: 1 = serial)",
+    )
+    p_run.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        metavar="R",
+        help="seed replicates per experiment (deterministic derived seeds)",
+    )
+
+    sub.add_parser("list", help="list runnable experiments and benches")
+
+    p_scenario = sub.add_parser(
+        "scenario", help="run a declarative scenario spec (JSON)"
+    )
+    p_scenario.add_argument("spec", metavar="SPEC.json", help="path to a scenario file")
+    p_scenario.add_argument(
+        "--quick", action="store_true", help="run the deterministic shrunk variant"
+    )
+    p_scenario.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    p_scenario.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the ScenarioReport JSON here",
+    )
+
+    p_bench = sub.add_parser("bench", help="engine micro-benchmark")
+    p_bench.add_argument("--quick", action="store_true")
+    p_bench.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_bench.add_argument(
+        "--output",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="where to write the JSON report",
+    )
+
+    for name, default_output, help_text in (
+        ("cluster-bench", "BENCH_cluster.json", "heterogeneous-cluster trace replay"),
+        ("prewarm-bench", "BENCH_prewarm.json", "reactive-vs-predictive autoscaling replay"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument(
+            "--nodes",
+            default=None,
+            metavar="GPUS",
+            help="comma-separated per-node GPU types, e.g. V100,A100,T4",
+        )
+        p.add_argument(
+            "--policies",
+            default=None,
+            metavar="POLICIES",
+            help="comma-separated policies to replay (default: all)",
+        )
+        p.add_argument(
+            "--output",
+            default=default_output,
+            metavar="PATH",
+            help="where to write the JSON report",
+        )
+        p.add_argument(
+            "--trace-file",
+            default=None,
+            metavar="PATH",
+            help="replay a committed trace file (fast-gshare-trace/1 JSON) "
+            "instead of synthesizing one",
+        )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        if args.replicates < 1:
+            parser.error(f"--replicates must be >= 1, got {args.replicates}")
+        return _cmd_run(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _cmd_cluster_like(args, parser)
 
 
 if __name__ == "__main__":

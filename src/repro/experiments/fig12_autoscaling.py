@@ -6,8 +6,11 @@ database and places pods with MRA.  The control path is the predictive
 autoscaler's **reactive degenerate** (``policy="reactive"``: no
 forecasters, no pre-warming) — the same controller the predictive policies
 run through, so this figure exercises exactly the code path prewarm-bench
-baselines against.  The paper's acceptance bar: the SLO violation ratio
-stays below ~1% overall while the replica count tracks the workload.
+baselines against.  The experiment is expressed as a declarative
+:class:`~repro.scenario.Scenario` (see :func:`build_scenario`) evaluated by
+``FaSTGShare.run_scenario`` — the same path fig14/fig15 and the ``scenario``
+CLI replay.  The paper's acceptance bar: the SLO violation ratio stays
+below ~1% overall while the replica count tracks the workload.
 """
 
 from __future__ import annotations
@@ -16,12 +19,17 @@ import dataclasses
 
 import numpy as np
 
-from repro.faas.loadgen import OpenLoopGenerator
 from repro.faas.slo import violation_ratio, violation_series
 from repro.faas.workload import StepTrace, Workload
-from repro.models import MODEL_ZOO
 from repro.platform import FaSTGShare
-from repro.profiler import ProfileDatabase
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -39,6 +47,60 @@ class Fig12Result:
     submitted: int
 
 
+def build_scenario(
+    workload: Workload | None = None,
+    slo_ms: float = 69.0,
+    seed: int = 42,
+    quick: bool = False,
+    interval: float = 0.5,
+    headroom: float = 1.4,
+) -> tuple[Scenario, Workload]:
+    """The declarative form of this figure: one function, a steps workload.
+
+    ``workload`` must be a :class:`StepTrace` (the staircase the paper
+    plots); its steps embed directly into the Scenario spec.
+    """
+    if workload is None:
+        workload = StepTrace.fig12_trace() if not quick else StepTrace(
+            [(10, 10), (10, 40), (10, 70), (10, 30)]
+        )
+    if not isinstance(workload, StepTrace):
+        raise ValueError(
+            "fig12 drives a stepped trace; pass a StepTrace (or None for the default)"
+        )
+    scenario = Scenario(
+        name="fig12-autoscaling",
+        seed=seed,
+        cluster=ClusterSpec(nodes=2, gpu="V100"),
+        functions=(
+            # Model sharing keeps scale-up cold starts short (paper architecture).
+            ScenarioFunction(
+                name="resnet",
+                model="resnet50",
+                slo_ms=slo_ms,
+                model_sharing=True,
+                workload=WorkloadSpec(
+                    kind="steps",
+                    steps=tuple((d, r) for d, r in workload.steps),
+                    poisson=workload.poisson,
+                ),
+            ),
+        ),
+        autoscaler=AutoscalerSpec(
+            policy="reactive",
+            interval=interval,
+            headroom=headroom,
+            scale_down_cooldown=10.0,
+            # Marginal surpluses must not trigger scale-down: removing a pod
+            # pushes the survivors into queueing territory the 69 ms SLO
+            # cannot absorb.
+            down_hysteresis=0.3,
+        ),
+        measurement=MeasurementSpec(drain_s=2.0, sample_dt=1.0),
+    )
+    return scenario, workload
+
+
 def run(
     workload: Workload | None = None,
     slo_ms: float = 69.0,
@@ -47,45 +109,22 @@ def run(
     interval: float = 0.5,
     headroom: float = 1.4,
 ) -> Fig12Result:
-    if workload is None:
-        workload = StepTrace.fig12_trace() if not quick else StepTrace(
-            [(10, 10), (10, 40), (10, 70), (10, 30)]
-        )
-    # Model sharing keeps scale-up cold starts short (paper architecture).
-    platform = FaSTGShare.build(nodes=2, sharing="fast", seed=seed)
-    platform.register_function("resnet", model="resnet50", slo_ms=slo_ms, model_sharing=True)
-    database = ProfileDatabase.analytic({"resnet": MODEL_ZOO["resnet50"]})
-    scheduler = platform.start_autoscaler(
-        database, interval=interval, headroom=headroom,
-        scale_down_cooldown=10.0,
-        policy="reactive",
+    scenario, workload = build_scenario(
+        workload, slo_ms=slo_ms, seed=seed, quick=quick, interval=interval, headroom=headroom
     )
-    # Marginal surpluses must not trigger scale-down: removing a pod pushes
-    # the survivors into queueing territory the 69 ms SLO cannot absorb.
-    scheduler.down_hysteresis = 0.3
-
-    # One warm pod at the efficient SLO-feasible configuration (profiled
-    # deployments start from a deployed function, not from zero).
-    p_eff = scheduler.scaler.p_eff("resnet")
-    platform.deploy("resnet", configs=[(p_eff.sm_partition, p_eff.quota)])
-    platform.wait_ready()
-
-    engine = platform.engine
-    t0 = engine.now
-    OpenLoopGenerator(engine, platform.gateway, "resnet", workload)
-    engine.run(until=t0 + workload.duration + 2.0)
+    report = FaSTGShare.run_scenario(scenario)
 
     horizon = workload.duration
-    log = platform.gateway.log.for_function("resnet").in_window(t0, t0 + horizon + 2.0)
+    log = report.function("resnet").run.log
     # Shift completion times to trace-relative before binning.
     for request in log.completed:
-        request.end -= t0
-        request.arrival -= t0
+        request.end -= report.t0
+        request.arrival -= report.t0
     times, completed_rps = log.completions_per_second(horizon)
     offered = np.array([workload.rps_at(t - 0.5) for t in times])
     violation_t, violation_r = violation_series(log, slo_ms, horizon)
 
-    series = [(t - t0, sum(counts.values())) for t, counts in scheduler.replica_series]
+    series = [(t, sum(counts.values())) for t, counts in report.replica_series]
     replica_counts = np.zeros(len(times))
     for i, t in enumerate(times):
         past = [count for st, count in series if st <= t]
@@ -101,7 +140,7 @@ def run(
         max_replicas=int(replica_counts.max()),
         slo_ms=slo_ms,
         completed=len(log),
-        submitted=platform.gateway.submitted["resnet"],
+        submitted=report.function("resnet").run.submitted,
     )
 
 

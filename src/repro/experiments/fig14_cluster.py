@@ -25,13 +25,18 @@ import dataclasses
 import json
 import typing as _t
 
-from repro.faas.loadgen import OpenLoopGenerator
 from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
 from repro.gpu.specs import gpu_spec
-from repro.models import MODEL_ZOO
 from repro.models.scaling import gpu_type_factor
 from repro.platform import FaSTGShare
-from repro.profiler import ProfileDatabase
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
 from repro.scheduler.mra import PLACEMENT_POLICIES
 
 #: (function, model, trace shape, mean rps) — the default service fleet.
@@ -90,6 +95,50 @@ class ClusterResult:
         raise KeyError(f"no outcome for policy {policy!r}")
 
 
+def scenario_for_policy(
+    trace_set: TraceSet,
+    nodes: _t.Sequence[str],
+    policy: str,
+    seed: int,
+    interval: float,
+    sample_dt: float = 1.0,
+) -> Scenario:
+    """The declarative form of one policy's replay: trace counts pinned inline.
+
+    Every policy's Scenario embeds the *same* per-bin counts (``counts``
+    workloads), so the replays are identical except for the placement policy
+    under test.  Model sharing stays on fleet-wide — it keeps trace-burst
+    scale-ups warm-start cheap (the paper's architecture point; without it
+    cold-tail functions pay a full model load on every flash crowd).
+    """
+    functions = tuple(
+        ScenarioFunction(
+            name=trace.function,
+            model=trace.model,
+            model_sharing=True,
+            workload=WorkloadSpec(
+                kind="counts", counts=trace.counts, bin_s=trace.bin_s, shape=trace.shape
+            ),
+        )
+        for trace in trace_set.traces
+    )
+    return Scenario(
+        name=f"fig14-{policy}",
+        seed=seed,
+        cluster=ClusterSpec(nodes=tuple(nodes)),
+        functions=functions,
+        autoscaler=AutoscalerSpec(
+            policy="reactive",
+            interval=interval,
+            headroom=1.3,
+            scale_down_cooldown=8.0,
+            down_hysteresis=0.3,
+            placement=policy,
+        ),
+        measurement=MeasurementSpec(drain_s=2.0, sample_dt=sample_dt),
+    )
+
+
 def _replay_policy(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
@@ -98,92 +147,23 @@ def _replay_policy(
     interval: float,
     sample_dt: float = 1.0,
 ) -> PolicyOutcome:
-    """Replay the trace set on a fresh platform under one placement policy."""
-    platform = FaSTGShare.build(nodes=nodes, sharing="fast", seed=seed)
-    slo_by_function: dict[str, float] = {}
-    models = {}
-    for trace in trace_set.traces:
-        # Model sharing keeps trace-burst scale-ups warm-start cheap (the
-        # paper's architecture point; without it cold-tail functions pay a
-        # full model load on every flash crowd).
-        spec = platform.register_function(trace.function, model=trace.model, model_sharing=True)
-        slo_by_function[trace.function] = spec.slo_ms
-        models[trace.function] = MODEL_ZOO[trace.model]
-    database = ProfileDatabase.analytic(models)
-    scheduler = platform.start_autoscaler(
-        database,
-        interval=interval,
-        headroom=1.3,
-        scale_down_cooldown=8.0,
-        placement_policy=policy,
-    )
-    scheduler.down_hysteresis = 0.3
-
-    # One warm pod per function at its efficient point, placed through the
-    # scheduler so the policy owns every rectangle from the start.
-    for trace in trace_set.traces:
-        p_eff = scheduler.scaler.p_eff(trace.function)
-        scheduler.place_pod(
-            platform.controllers[trace.function], p_eff.sm_partition, p_eff.quota, p_eff.quota
-        )
-    platform.wait_ready()
-
-    engine = platform.engine
-    t0 = engine.now
-    platform.cluster.reset_metrics()
-    for trace in trace_set.traces:
-        OpenLoopGenerator(engine, platform.gateway, trace.function, trace.to_workload())
-
-    horizon = trace_set.duration
-    samples: list[tuple[int, dict[str, float]]] = []
-
-    def sample() -> None:
-        samples.append(
-            (scheduler.placement.gpus_in_use(), scheduler.placement.utilized_area_by_node())
-        )
-        if engine.now < t0 + horizon:
-            engine.schedule(sample_dt, sample)
-
-    engine.schedule(sample_dt, sample)
-    engine.run(until=t0 + horizon + 2.0)
-    scheduler.stop()
-
-    log = platform.gateway.log.in_window(t0, engine.now)
-    per_function: dict[str, float] = {}
-    violated = 0
-    total = 0
-    for trace in trace_set.traces:
-        flog = log.for_function(trace.function)
-        lat = flog.latencies_ms()
-        slo = slo_by_function[trace.function]
-        over = int((lat > slo).sum()) if lat.size else 0
-        per_function[trace.function] = over / lat.size if lat.size else 0.0
-        violated += over
-        total += int(lat.size)
-
-    gpu_counts = [count for count, _ in samples]
-    alloc_fractions = [
-        sum(areas.values()) / max(1, len([a for a in areas.values() if a > 0]))
-        for _, areas in samples
-        if any(a > 0 for a in areas.values())
-    ]
-    submitted = sum(platform.gateway.submitted[t.function] for t in trace_set.traces)
+    """Replay the trace set under one placement policy via the Scenario API."""
+    scenario = scenario_for_policy(trace_set, nodes, policy, seed, interval, sample_dt)
+    report = FaSTGShare.run_scenario(scenario)
     return PolicyOutcome(
         policy=policy,
-        submitted=submitted,
-        completed=total,
-        slo_violation_ratio=violated / total if total else 0.0,
-        per_function_violations=per_function,
-        p95_ms=log.latency_percentile_ms(95),
-        peak_gpus=max(gpu_counts) if gpu_counts else 0,
-        mean_gpus=sum(gpu_counts) / len(gpu_counts) if gpu_counts else 0.0,
-        mean_alloc_fraction=(
-            sum(alloc_fractions) / len(alloc_fractions) if alloc_fractions else 0.0
-        ),
-        node_utilization={name: util for name, util, _ in platform.cluster.node_metrics()},
-        scale_ups=sum(1 for e in scheduler.events if e.action == "up"),
-        scale_downs=sum(1 for e in scheduler.events if e.action == "down"),
-        nofit_events=sum(1 for e in scheduler.events if e.action == "nofit"),
+        submitted=report.submitted,
+        completed=report.completed,
+        slo_violation_ratio=report.overall_violation_ratio,
+        per_function_violations=report.per_function_violations,
+        p95_ms=report.overall_p95_ms,
+        peak_gpus=report.peak_gpus,
+        mean_gpus=report.mean_gpus,
+        mean_alloc_fraction=report.mean_alloc_fraction,
+        node_utilization=report.node_utilization,
+        scale_ups=report.scale_ups,
+        scale_downs=report.scale_downs,
+        nofit_events=report.nofit_events,
     )
 
 

@@ -36,13 +36,17 @@ import dataclasses
 import json
 import typing as _t
 
-from repro.autoscaler.forecast import OracleForecaster
-from repro.faas.loadgen import OpenLoopGenerator
 from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
 from repro.experiments.fig14_cluster import CLUSTER_FLEET, QUICK_NODES
-from repro.models import MODEL_ZOO
 from repro.platform import FaSTGShare
-from repro.profiler import ProfileDatabase
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
 
 #: The fig14 cold/bursty subset — the traffic shapes where cold starts bite.
 PREWARM_FLEET: tuple[tuple[str, str, str, float], ...] = tuple(
@@ -117,6 +121,56 @@ class PrewarmResult:
         return self.outcome("predictive").gpu_seconds / reactive - 1.0
 
 
+#: fig15 mode → the autoscaler policy its Scenario declares.
+_AUTOSCALE_POLICY = {"reactive": "reactive", "predictive": "hybrid", "oracle": "oracle"}
+
+
+def scenario_for_policy(
+    trace_set: TraceSet,
+    nodes: _t.Sequence[str],
+    policy: str,
+    seed: int,
+    interval: float,
+    sample_dt: float = 1.0,
+) -> Scenario:
+    """The declarative form of one autoscaling mode's replay.
+
+    Every mode's Scenario embeds the *same* per-bin counts; only the
+    autoscaler policy differs.  The oracle mode's per-function trace
+    forecasters are built by the scenario runner from those counts
+    (``oracle_lead_s`` seconds of lead).  All modes start from the same
+    deployed state — one warm pod per function — which the predictive
+    modes may scale to zero.
+    """
+    functions = tuple(
+        ScenarioFunction(
+            name=trace.function,
+            model=trace.model,
+            model_sharing=True,
+            workload=WorkloadSpec(
+                kind="counts", counts=trace.counts, bin_s=trace.bin_s, shape=trace.shape
+            ),
+        )
+        for trace in trace_set.traces
+    )
+    return Scenario(
+        name=f"fig15-{policy}",
+        seed=seed,
+        cluster=ClusterSpec(nodes=tuple(nodes)),
+        functions=functions,
+        autoscaler=AutoscalerSpec(
+            policy=_AUTOSCALE_POLICY[policy],
+            interval=interval,
+            headroom=1.3,
+            scale_down_cooldown=8.0,
+            down_hysteresis=0.3,
+            placement="binpack",
+            oracle_lead_s=4.0,
+        ),
+        measurement=MeasurementSpec(drain_s=2.0, sample_dt=sample_dt),
+    )
+
+
 def _replay_policy(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
@@ -125,106 +179,36 @@ def _replay_policy(
     interval: float,
     sample_dt: float = 1.0,
 ) -> PrewarmOutcome:
-    """Replay the trace set on a fresh platform under one autoscaling mode."""
-    platform = FaSTGShare.build(nodes=nodes, sharing="fast", seed=seed)
-    slo_by_function: dict[str, float] = {}
-    models = {}
-    for trace in trace_set.traces:
-        spec = platform.register_function(trace.function, model=trace.model, model_sharing=True)
-        slo_by_function[trace.function] = spec.slo_ms
-        models[trace.function] = MODEL_ZOO[trace.model]
-    database = ProfileDatabase.analytic(models)
-
-    forecasters = None
-    autoscale_policy = "reactive"
-    if policy == "predictive":
-        autoscale_policy = "hybrid"
-    elif policy == "oracle":
-        autoscale_policy = "oracle"
-        forecasters = {
-            trace.function: OracleForecaster(trace, lead_s=4.0)
-            for trace in trace_set.traces
-        }
-    scheduler = platform.start_autoscaler(
-        database,
-        interval=interval,
-        headroom=1.3,
-        scale_down_cooldown=8.0,
-        placement_policy="binpack",
-        policy=autoscale_policy,
-        forecasters=forecasters,
-    )
-    scheduler.down_hysteresis = 0.3
-
-    # One warm pod per function at its efficient point (all modes start from
-    # the same deployed state; the predictive modes may scale it to zero).
-    for trace in trace_set.traces:
-        p_eff = scheduler.scaler.p_eff(trace.function)
-        scheduler.place_pod(
-            platform.controllers[trace.function], p_eff.sm_partition, p_eff.quota, p_eff.quota
-        )
-    platform.wait_ready()
-
-    engine = platform.engine
-    t0 = engine.now
-    if forecasters:
-        for forecaster in forecasters.values():
-            forecaster.origin = t0  # trace offset 0 == replay start
-    platform.cluster.reset_metrics()
-    for trace in trace_set.traces:
-        OpenLoopGenerator(engine, platform.gateway, trace.function, trace.to_workload())
-
-    horizon = trace_set.duration
-    samples: list[int] = []
-
-    def sample() -> None:
-        samples.append(scheduler.placement.gpus_in_use())
-        if engine.now < t0 + horizon:
-            engine.schedule(sample_dt, sample)
-
-    engine.schedule(sample_dt, sample)
-    engine.run(until=t0 + horizon + 2.0)
-    scheduler.stop()
-
-    log = platform.gateway.log.in_window(t0, engine.now)
-    per_function: dict[str, float] = {}
-    violated = 0
-    total = 0
-    for trace in trace_set.traces:
-        flog = log.for_function(trace.function)
-        lat = flog.latencies_ms()
-        slo = slo_by_function[trace.function]
-        over = int((lat > slo).sum()) if lat.size else 0
-        per_function[trace.function] = over / lat.size if lat.size else 0.0
-        violated += over
-        total += int(lat.size)
-
-    cold_waits = log.cold_waits_ms()
-    queue_waits = log.queue_waits_ms()
-    predictive = scheduler.predictive
-    submitted = sum(platform.gateway.submitted[t.function] for t in trace_set.traces)
+    """Replay the trace set under one autoscaling mode via the Scenario API."""
+    scenario = scenario_for_policy(trace_set, nodes, policy, seed, interval, sample_dt)
+    report = FaSTGShare.run_scenario(scenario)
+    cold_hits = sum(o.run.cold_hit_requests for o in report.functions)
+    # Window-wide wait means pool the per-function logs (their union is the
+    # full measured window — every request belongs to a scenario function).
+    all_cold = [w for o in report.functions for w in o.run.log.cold_waits_ms()]
+    all_queue = [w for o in report.functions for w in o.run.log.queue_waits_ms()]
     return PrewarmOutcome(
         policy=policy,
-        submitted=submitted,
-        completed=total,
-        slo_violation_ratio=violated / total if total else 0.0,
-        per_function_violations=per_function,
-        p95_ms=log.latency_percentile_ms(95),
-        cold_hit_requests=log.cold_hits(),
-        cold_wait_ms_mean=float(cold_waits.mean()) if cold_waits.size else 0.0,
-        queue_wait_ms_mean=float(queue_waits.mean()) if queue_waits.size else 0.0,
-        pod_cold_starts=sum(1 for e in scheduler.events if e.action == "up")
-        + len(trace_set.traces)  # the pre-placed warm pods cold-started too
-        + predictive.prewarms,
-        prewarms=predictive.prewarms,
-        promotions=platform.gateway.promotions,
-        retirements=predictive.retirements,
-        gpu_seconds=sum(samples) * sample_dt,
-        mean_gpus=sum(samples) / len(samples) if samples else 0.0,
-        peak_gpus=max(samples) if samples else 0,
-        scale_ups=sum(1 for e in scheduler.events if e.action == "up"),
-        scale_downs=sum(1 for e in scheduler.events if e.action == "down"),
-        nofit_events=sum(1 for e in scheduler.events if e.action == "nofit"),
+        submitted=report.submitted,
+        completed=report.completed,
+        slo_violation_ratio=report.overall_violation_ratio,
+        per_function_violations=report.per_function_violations,
+        p95_ms=report.overall_p95_ms,
+        cold_hit_requests=cold_hits,
+        cold_wait_ms_mean=sum(all_cold) / len(all_cold) if all_cold else 0.0,
+        queue_wait_ms_mean=sum(all_queue) / len(all_queue) if all_queue else 0.0,
+        pod_cold_starts=report.scale_ups
+        + sum(f.initial_count for f in scenario.functions)  # pre-placed pods
+        + report.prewarms,
+        prewarms=report.prewarms,
+        promotions=report.promotions,
+        retirements=report.retirements,
+        gpu_seconds=report.gpu_seconds,
+        mean_gpus=report.mean_gpus,
+        peak_gpus=report.peak_gpus,
+        scale_ups=report.scale_ups,
+        scale_downs=report.scale_downs,
+        nofit_events=report.nofit_events,
     )
 
 

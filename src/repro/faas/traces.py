@@ -221,6 +221,169 @@ def load_trace_file(path: str) -> TraceSet:
         ) from exc
 
 
+#: Leading metadata columns of the public Azure Functions invocation CSVs.
+_AZURE_META_COLUMNS = ("HashOwner", "HashApp", "HashFunction", "Trigger")
+
+
+def classify_shape(counts: _t.Sequence[int]) -> str:
+    """Heuristic shape label for a per-bin count series (metadata only).
+
+    Mirrors the synthesizer's regimes: mostly-idle series are ``cold``,
+    high peak-to-mean series are ``bursty``, low-variation series are
+    ``steady``, everything else is labelled ``diurnal``.
+    """
+    counts = [int(c) for c in counts]
+    if not counts or sum(counts) == 0:
+        return "cold"
+    idle = sum(1 for c in counts if c == 0) / len(counts)
+    if idle >= 0.5:
+        return "cold"
+    mean = sum(counts) / len(counts)
+    if max(counts) > 4.0 * mean:
+        return "bursty"
+    variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+    if variance**0.5 <= 0.25 * mean:
+        return "steady"
+    return "diurnal"
+
+
+def from_azure_csv(
+    path: str,
+    models: str | _t.Sequence[str] | _t.Mapping[str, str] = "resnet50",
+    bin_s: float = 60.0,
+    max_functions: int | None = None,
+    min_total_invocations: int = 1,
+    start_minute: int = 0,
+    minutes: int | None = None,
+    rps_scale: float = 1.0,
+) -> list["FunctionTrace"]:
+    """Convert a public Azure Functions invocation CSV into function traces.
+
+    The Azure Functions 2019 dataset records per-minute invocation counts as
+    ``HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440`` rows; this maps
+    each row into a :class:`FunctionTrace` in the committed
+    ``fast-gshare-trace/1`` schema (ROADMAP "Trace realism"), so a slice of
+    the real dataset replays through every bench and Scenario unchanged::
+
+        traces = from_azure_csv("invocations_per_function_md.anon.d01.csv",
+                                models=["resnet50", "bert"], minutes=60)
+        TraceSet(traces=tuple(traces)).save("azure_day1_hour1.json")
+
+    ``models`` assigns the serving model: one name for every function, a
+    sequence cycled deterministically over rows, or a mapping keyed by the
+    ``HashFunction`` column.  Functions are named ``azure-<hash prefix>``
+    (deduplicated), rows totalling fewer than ``min_total_invocations``
+    over the selected window are dropped (the dump is dominated by dead
+    functions), and ``max_functions`` keeps the busiest rows.
+    ``start_minute``/``minutes`` select a window of the day;
+    ``rps_scale`` rescales counts to fit the simulated cluster.  Each
+    trace's ``shape`` is labelled via :func:`classify_shape`.
+    """
+    import csv
+
+    from repro.models import MODEL_ZOO
+
+    def resolve_model(function_hash: str, row_index: int) -> str:
+        if isinstance(models, str):
+            name = models
+        elif isinstance(models, _t.Mapping):
+            name = models.get(function_hash)
+            if name is None:
+                raise ValueError(
+                    f"{path}: no model mapped for function hash {function_hash!r}"
+                )
+        else:
+            pool = list(models)
+            if not pool:
+                raise ValueError("models sequence must be non-empty")
+            name = pool[row_index % len(pool)]
+        if name not in MODEL_ZOO:
+            raise ValueError(f"unknown model {name!r}; known: {sorted(MODEL_ZOO)}")
+        return name
+
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    if start_minute < 0:
+        raise ValueError("start_minute must be >= 0")
+    if minutes is not None and minutes < 1:
+        raise ValueError("minutes must be >= 1")
+    if rps_scale <= 0:
+        raise ValueError("rps_scale must be positive")
+
+    with open(path, "r", encoding="utf-8", newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV") from None
+        header = [column.strip() for column in header]
+        if tuple(header[: len(_AZURE_META_COLUMNS)]) != _AZURE_META_COLUMNS:
+            raise ValueError(
+                f"{path}: not an Azure Functions invocation CSV — expected the "
+                f"header to start with {','.join(_AZURE_META_COLUMNS)}, got "
+                f"{','.join(header[:4]) or '<nothing>'}"
+            )
+        n_minutes = len(header) - len(_AZURE_META_COLUMNS)
+        if n_minutes < 1:
+            raise ValueError(f"{path}: header has no per-minute count columns")
+        stop_minute = n_minutes if minutes is None else min(n_minutes, start_minute + minutes)
+        if start_minute >= stop_minute:
+            raise ValueError(
+                f"{path}: start_minute {start_minute} is past the trace's "
+                f"{n_minutes} minute columns"
+            )
+
+        rows: list[tuple[int, str, str, tuple[int, ...]]] = []
+        for row_index, row in enumerate(reader):
+            if not row or not any(cell.strip() for cell in row):
+                continue  # tolerate blank lines
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path} row {row_index + 2}: expected {len(header)} columns, "
+                    f"got {len(row)}"
+                )
+            function_hash = row[2].strip()
+            window = row[len(_AZURE_META_COLUMNS) :][start_minute:stop_minute]
+            try:
+                raw = [int(cell) for cell in window]
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path} row {row_index + 2}: non-integer invocation count "
+                    f"({exc})"
+                ) from None
+            if any(c < 0 for c in raw):
+                raise ValueError(
+                    f"{path} row {row_index + 2}: negative invocation count"
+                )
+            counts = tuple(int(round(c * rps_scale)) for c in raw)
+            if sum(counts) < min_total_invocations:
+                continue
+            model = resolve_model(function_hash, row_index)
+            rows.append((row_index, function_hash, model, counts))
+
+    # Busiest functions first (stable on the original row order), then cap.
+    rows.sort(key=lambda item: (-sum(item[3]), item[0]))
+    if max_functions is not None:
+        rows = rows[:max_functions]
+
+    traces: list[FunctionTrace] = []
+    seen: dict[str, int] = {}
+    for _, function_hash, model, counts in rows:
+        base = f"azure-{function_hash[:8] or 'unnamed'}"
+        seen[base] = seen.get(base, 0) + 1
+        name = base if seen[base] == 1 else f"{base}-{seen[base]}"
+        traces.append(
+            FunctionTrace(
+                function=name,
+                model=model,
+                counts=counts,
+                bin_s=bin_s,
+                shape=classify_shape(counts),
+            )
+        )
+    return traces
+
+
 def synthesize_trace(
     function: str,
     model: str,

@@ -36,6 +36,17 @@ class DevicePlugin:
         self._assigned[node.name] = pod_id
         return node
 
+    def assign(self, node_name: str, pod_id: str) -> None:
+        """Record ``pod_id`` as the exclusive owner of ``node_name``'s GPU.
+
+        The public form of rebinding a reservation (e.g. swapping an
+        ``acquire``-time placeholder for the real pod id once the replica
+        exists) — callers must not write ``_assigned`` directly.
+        """
+        if node_name not in {node.name for node in self.cluster.nodes}:
+            raise KeyError(f"unknown node {node_name!r}")
+        self._assigned[node_name] = pod_id
+
     def release(self, node_name: str) -> None:
         self._assigned.pop(node_name, None)
 

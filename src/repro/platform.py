@@ -11,6 +11,13 @@ API::
     report = platform.run_workload("classify", rps=120, duration=60)
     print(report.summary())
 
+Multi-tenant experiments use the declarative Scenario API instead — one
+JSON-round-trippable spec describing cluster, fleet, workloads, autoscaler
+policy, and measurement windows, evaluated through a single code path::
+
+    report = FaSTGShare.run_scenario(load_scenario("examples/scenarios/cold_bursty.json"))
+    print(report.summary())
+
 ``sharing`` selects the mechanism under test:
 
 ==============  ==================================================================
@@ -189,11 +196,10 @@ class FaSTGShare:
             target = self.cluster.node(node)
             replica = controller.scale_up(target, sm, q_req, q_lim)
             if sharing == "fast":
-                try:
-                    self._mra.gpus[target.name].place(replica.pod.pod_id, q_lim * 100.0, sm)
-                    self._mra._bindings[replica.pod.pod_id] = target.name
-                except NoFitError:
-                    pass  # pinned deployments may deliberately over-subscribe
+                # Pinned deployments may deliberately over-subscribe.
+                self._mra.bind_at(
+                    replica.pod.pod_id, target.name, q_lim * 100.0, sm, require_fit=False
+                )
             return replica
         if sharing == "fast":
             probe = self._memory_probe(controller.function)
@@ -205,8 +211,7 @@ class FaSTGShare:
             node_name, rect = choice
             target = self.cluster.node(node_name)
             replica = controller.scale_up(target, sm, q_req, q_lim)
-            self._mra.gpus[node_name].place(replica.pod.pod_id, q_lim * 100.0, sm, target=rect)
-            self._mra._bindings[replica.pod.pod_id] = node_name
+            self._mra.bind_at(replica.pod.pod_id, node_name, q_lim * 100.0, sm, target=rect)
             return replica
         if sharing == "timeshare":
             # KubeShare-style: pack by time quota only (every pod sees all SMs).
@@ -220,8 +225,7 @@ class FaSTGShare:
         if sharing == "exclusive":
             target = self._device_plugin.acquire(f"{controller.function.name}-next")
             replica = controller.scale_up(target, sm, q_req, q_lim)
-            self._device_plugin.release(target.name)
-            self._device_plugin._assigned[target.name] = replica.pod.pod_id
+            self._device_plugin.assign(target.name, replica.pod.pod_id)
             return replica
         # racing: pile pods onto the first node unless pinned.
         return controller.scale_up(self.cluster.node(0), sm, q_req, q_lim)
@@ -262,6 +266,8 @@ class FaSTGShare:
         forecasters: _t.Mapping[str, _t.Any] | None = None,
         prewarm: _t.Any | None = None,
         forecast_period_s: float | None = None,
+        down_hysteresis: float = 0.10,
+        min_replicas_by_function: _t.Mapping[str, int] | None = None,
     ) -> FaSTScheduler:
         """Attach and start the FaST-Scheduler over the given profile DB.
 
@@ -299,8 +305,10 @@ class FaSTGShare:
             scale_down_cooldown=scale_down_cooldown,
             min_replicas=min_replicas,
             latency_headroom=latency_headroom,
+            down_hysteresis=down_hysteresis,
             placement_policy=placement_policy,
             predictive=predictive,
+            min_replicas_by_function=min_replicas_by_function,
         )
         self.scheduler.start()
         return self.scheduler
@@ -363,6 +371,22 @@ class FaSTGShare:
         client.stop()
         submitted = self.gateway.submitted[function] - submitted_before
         return self._report(function, t0, self.engine.now, submitted)
+
+    @classmethod
+    def run_scenario(cls, scenario: _t.Any, quick: bool = False) -> _t.Any:
+        """Serve, measure, and report one declarative multi-tenant scenario.
+
+        ``scenario`` is a :class:`repro.scenario.Scenario` (load committed
+        specs with :func:`repro.scenario.load_scenario`); the return value is
+        a :class:`repro.scenario.ScenarioReport` with one :class:`RunReport`
+        per function plus cluster aggregates.  ``quick=True`` runs the
+        deterministic shrunk variant (:meth:`repro.scenario.Scenario.quick`).
+        This is the one code path every multi-function experiment routes
+        through (fig12/fig14/fig15 construct Scenarios and call it).
+        """
+        from repro.scenario.runner import run_scenario
+
+        return run_scenario(scenario, quick=quick)
 
     def _report(self, function: str, t0: float, t1: float, submitted: int) -> RunReport:
         spec = self.registry.get(function)

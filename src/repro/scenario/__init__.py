@@ -1,0 +1,49 @@
+"""Declarative multi-tenant serving scenarios: one spec → serve, measure, report.
+
+:mod:`repro.scenario.spec` defines the JSON-round-trippable :class:`Scenario`
+(cluster + fleet + workloads + autoscaler + measurement windows);
+:mod:`repro.scenario.runner` executes it through the one platform code path;
+:mod:`repro.scenario.report` aggregates the results.  The usual entry points::
+
+    from repro.platform import FaSTGShare
+    from repro.scenario import load_scenario
+
+    report = FaSTGShare.run_scenario(load_scenario("examples/scenarios/cold_bursty.json"))
+    print(report.summary())
+"""
+
+from repro.scenario.report import FunctionOutcome, ScenarioReport, UtilizationSample
+from repro.scenario.runner import build_platform, resolve_workload, run_scenario
+from repro.scenario.spec import (
+    SCENARIO_FORMAT,
+    SHARING_MODES,
+    WORKLOAD_KINDS,
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioError,
+    ScenarioFunction,
+    WorkloadSpec,
+    load_scenario,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT",
+    "SHARING_MODES",
+    "WORKLOAD_KINDS",
+    "AutoscalerSpec",
+    "ClusterSpec",
+    "FunctionOutcome",
+    "MeasurementSpec",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioFunction",
+    "ScenarioReport",
+    "UtilizationSample",
+    "WorkloadSpec",
+    "build_platform",
+    "load_scenario",
+    "resolve_workload",
+    "run_scenario",
+]

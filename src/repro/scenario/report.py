@@ -1,0 +1,194 @@
+"""Scenario results: per-function reports plus cluster-level aggregates.
+
+A :class:`ScenarioReport` is what :meth:`repro.platform.FaSTGShare.run_scenario`
+returns: one :class:`~repro.platform.RunReport` per function (latency
+percentiles, SLO violations, queue-vs-cold wait attribution, the raw request
+log for post-processing), cluster aggregates (GPU-seconds, mean/peak GPUs,
+allocation fraction, a utilization timeseries), control-plane event counts,
+and a stable JSON serialization (``benchmark: "scenario"``) the regression
+gate in ``benchmarks/check_regression.py`` understands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.scenario.spec import Scenario
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.platform import RunReport
+
+#: Format tag written into serialized scenario reports.
+REPORT_FORMAT = "fast-gshare-scenario-report/1"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FunctionOutcome:
+    """One function's measured window (a RunReport plus scenario metadata)."""
+
+    name: str
+    model: str
+    shape: str | None
+    run: "RunReport"
+
+    @property
+    def slo_violation_ratio(self) -> float:
+        return self.run.slo_violation_ratio
+
+    def to_dict(self) -> dict:
+        run = self.run
+        return {
+            "model": self.model,
+            "shape": self.shape,
+            "slo_ms": run.slo_ms,
+            "submitted": run.submitted,
+            "completed": run.completed,
+            "throughput": run.throughput,
+            "p50_ms": run.p50_ms,
+            "p95_ms": run.p95_ms,
+            "p99_ms": run.p99_ms,
+            "slo_violation_ratio": run.slo_violation_ratio,
+            "queue_wait_ms_mean": run.queue_wait_ms_mean,
+            "cold_wait_ms_mean": run.cold_wait_ms_mean,
+            "cold_hit_requests": run.cold_hit_requests,
+        }
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class UtilizationSample:
+    """One sampling tick of the cluster's placement state."""
+
+    time: float
+    gpus_in_use: int
+    alloc_by_node: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioReport:
+    """Everything one scenario run measured."""
+
+    scenario: Scenario
+    quick: bool
+    t0: float
+    duration: float
+    horizon: float
+    functions: tuple[FunctionOutcome, ...]
+    #: cluster-wide latency/violation over every completed request in window.
+    overall_p95_ms: float
+    overall_violation_ratio: float
+    submitted: int
+    completed: int
+    #: placement aggregates from the sampled timeseries.
+    gpu_seconds: float
+    mean_gpus: float
+    peak_gpus: int
+    mean_alloc_fraction: float
+    utilization: tuple[UtilizationSample, ...]
+    node_utilization: dict[str, float]
+    #: control-plane event counts over the window.
+    scale_ups: int
+    scale_downs: int
+    nofit_events: int
+    prewarms: int
+    promotions: int
+    retirements: int
+    #: scheduler replica-count series [(t, {function: count}), ...] for plots.
+    replica_series: tuple[tuple[float, dict[str, int]], ...] = ()
+
+    def function(self, name: str) -> FunctionOutcome:
+        for outcome in self.functions:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no outcome for function {name!r}")
+
+    @property
+    def per_function_violations(self) -> dict[str, float]:
+        return {o.name: o.slo_violation_ratio for o in self.functions}
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": "scenario",
+            "format": REPORT_FORMAT,
+            "quick": self.quick,
+            "scenario": self.scenario.to_dict(),
+            "duration_s": self.duration,
+            "horizon_s": self.horizon,
+            "totals": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "p95_ms": self.overall_p95_ms,
+                "slo_violation_ratio": self.overall_violation_ratio,
+            },
+            "functions": {o.name: o.to_dict() for o in self.functions},
+            "cluster": {
+                "gpu_seconds": self.gpu_seconds,
+                "mean_gpus": self.mean_gpus,
+                "peak_gpus": self.peak_gpus,
+                "mean_alloc_fraction": self.mean_alloc_fraction,
+                "node_utilization": self.node_utilization,
+                "utilization_timeseries": {
+                    "t": [s.time for s in self.utilization],
+                    "gpus_in_use": [s.gpus_in_use for s in self.utilization],
+                    # Same convention as mean_alloc_fraction: allocated area
+                    # per *in-use* GPU (0.0 when nothing is placed).
+                    "alloc_fraction": [
+                        sum(s.alloc_by_node.values())
+                        / max(1, len([a for a in s.alloc_by_node.values() if a > 0]))
+                        for s in self.utilization
+                    ],
+                },
+            },
+            "events": {
+                "scale_ups": self.scale_ups,
+                "scale_downs": self.scale_downs,
+                "nofit": self.nofit_events,
+                "prewarms": self.prewarms,
+                "promotions": self.promotions,
+                "retirements": self.retirements,
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> dict:
+        payload = self.to_dict()
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return payload
+
+    # -- human-readable summary -------------------------------------------------
+    def summary(self) -> str:
+        scenario = self.scenario
+        nodes = scenario.cluster.nodes
+        node_desc = (
+            f"{nodes} x {scenario.cluster.gpu}"
+            if isinstance(nodes, int)
+            else ", ".join(nodes)
+        )
+        lines = [
+            f"Scenario {scenario.name!r}  ({len(scenario.functions)} functions, "
+            f"nodes: {node_desc}, sharing: {scenario.cluster.sharing}, "
+            f"seed {scenario.seed}{', quick' if self.quick else ''})",
+            f"  window {self.duration:.1f}s  submitted {self.submitted}  "
+            f"completed {self.completed}  overall p95 {self.overall_p95_ms:.1f} ms  "
+            f"violations {100 * self.overall_violation_ratio:.2f}%",
+            f"  GPUs: mean {self.mean_gpus:.2f}  peak {self.peak_gpus}  "
+            f"{self.gpu_seconds:.0f} GPU-s  alloc {100 * self.mean_alloc_fraction:.1f}%",
+            f"  events: {self.scale_ups} up / {self.scale_downs} down / "
+            f"{self.nofit_events} nofit / {self.prewarms} prewarm / "
+            f"{self.promotions} promote / {self.retirements} retire",
+            "  function            model       SLO(ms)  done/sub    p95(ms)  viol%  cold-hits",
+        ]
+        for outcome in self.functions:
+            run = outcome.run
+            lines.append(
+                f"  {outcome.name:<19} {outcome.model:<11} {run.slo_ms:7.0f}  "
+                f"{run.completed}/{run.submitted:<9} {run.p95_ms:8.1f} "
+                f"{100 * run.slo_violation_ratio:6.2f} {run.cold_hit_requests:10d}"
+            )
+        return "\n".join(lines)

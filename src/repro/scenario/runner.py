@@ -1,0 +1,333 @@
+"""Execute a declarative :class:`~repro.scenario.spec.Scenario`.
+
+This is the one serving/measurement code path every experiment routes
+through (fig12/fig14/fig15, ``python -m repro scenario``, and any future
+multi-tenant study): build the platform from the cluster spec, register the
+fleet, resolve each function's workload into an arrival process, start the
+autoscaler (or a static deployment), pre-place the initial pods, replay all
+workloads concurrently, sample placement utilization, and aggregate a
+:class:`~repro.scenario.report.ScenarioReport`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.faas.loadgen import OpenLoopGenerator
+from repro.faas.traces import FunctionTrace, load_trace_file, synthesize_trace
+from repro.faas.workload import ConstantRate, PoissonRate, StepTrace, Workload
+from repro.models import MODEL_ZOO
+from repro.profiler.database import ProfileDatabase
+from repro.scenario.report import FunctionOutcome, ScenarioReport, UtilizationSample
+from repro.scenario.spec import Scenario, ScenarioError, ScenarioFunction
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.platform import FaSTGShare
+
+
+def resolve_workload(
+    fn: ScenarioFunction,
+    seed: int,
+    trace_cache: dict[str, _t.Any] | None = None,
+) -> tuple[Workload, FunctionTrace | None]:
+    """Build the arrival process (and, when count-based, its trace) for ``fn``.
+
+    Synthetic shapes derive deterministically from the scenario seed, so two
+    scenarios differing only in policy replay byte-identical arrival counts.
+    ``trace_cache`` (path → TraceSet) avoids re-parsing a trace file shared
+    by many functions of one scenario.
+    """
+    spec = fn.workload
+    if spec.kind == "synthetic":
+        trace = synthesize_trace(
+            fn.name,
+            fn.model,
+            shape=spec.shape,
+            mean_rps=spec.mean_rps,
+            bins=spec.bins,
+            bin_s=spec.bin_s,
+            seed=seed,
+        )
+        return trace.to_workload(), trace
+    if spec.kind == "counts":
+        trace = FunctionTrace(
+            function=fn.name,
+            model=fn.model,
+            counts=spec.counts,
+            bin_s=spec.bin_s,
+            shape=spec.shape,
+        )
+        return trace.to_workload(), trace
+    if spec.kind == "trace":
+        if trace_cache is not None and spec.path in trace_cache:
+            trace_set = trace_cache[spec.path]
+        else:
+            trace_set = load_trace_file(spec.path)
+            if trace_cache is not None:
+                trace_cache[spec.path] = trace_set
+        wanted = spec.trace_function or fn.name
+        try:
+            trace = trace_set.get(wanted)
+        except KeyError as exc:
+            raise ScenarioError(
+                f"function {fn.name!r}: trace file {spec.path!r} has no entry "
+                f"{wanted!r} (known: {trace_set.functions})"
+            ) from exc
+        return trace.to_workload(), trace
+    if spec.kind == "steps":
+        return StepTrace(list(spec.steps), poisson=spec.poisson), None
+    # constant
+    workload_cls = PoissonRate if spec.poisson else ConstantRate
+    return workload_cls(spec.rps, spec.duration), None
+
+
+def build_platform(scenario: Scenario) -> "FaSTGShare":
+    """Construct the platform and register the scenario's fleet (in order)."""
+    from repro.platform import FaSTGShare
+
+    cluster = scenario.cluster
+    platform = FaSTGShare.build(
+        nodes=cluster.nodes,
+        gpu=cluster.gpu,
+        sharing=cluster.sharing,
+        window=cluster.window,
+        seed=scenario.seed,
+    )
+    for fn in scenario.functions:
+        platform.register_function(
+            fn.name, model=fn.model, slo_ms=fn.slo_ms, model_sharing=fn.model_sharing
+        )
+    return platform
+
+
+def _oracle_forecasters(
+    scenario: Scenario, traces: _t.Mapping[str, FunctionTrace | None]
+) -> dict:
+    from repro.autoscaler.forecast import OracleForecaster
+
+    forecasters = {}
+    for fn in scenario.functions:
+        trace = traces[fn.name]
+        if trace is None:
+            raise ScenarioError(
+                f"function {fn.name!r}: the oracle policy needs a count-based "
+                f"workload (synthetic/counts/trace), got {fn.workload.kind!r}"
+            )
+        forecasters[fn.name] = OracleForecaster(
+            trace, lead_s=scenario.autoscaler.oracle_lead_s
+        )
+    return forecasters
+
+
+def _deploy_static(platform: "FaSTGShare", scenario: Scenario) -> None:
+    """Static baseline: each function's initial pods at its efficient point."""
+    from repro.scheduler.autoscale import HeuristicScaler
+
+    database = ProfileDatabase.analytic(
+        {fn.name: MODEL_ZOO[fn.model] for fn in scenario.functions}
+    )
+    slo_map = {fn.name: platform.registry.get(fn.name).slo_ms for fn in scenario.functions}
+    min_factor = min(platform.cluster.speed_factors().values())
+    scaler = HeuristicScaler(
+        database,
+        slo_ms=slo_map,
+        latency_headroom=scenario.autoscaler.latency_headroom * min(1.0, min_factor),
+    )
+    for fn in scenario.functions:
+        if fn.initial_count == 0:
+            continue
+        p_eff = scaler.p_eff(fn.name)
+        platform.deploy(
+            fn.name, configs=[(p_eff.sm_partition, p_eff.quota)] * fn.initial_count
+        )
+
+
+def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
+    """Serve, measure, and report one scenario (see module docstring)."""
+    if quick:
+        scenario = scenario.quick()
+    platform = build_platform(scenario)
+    engine = platform.engine
+    auto = scenario.autoscaler
+
+    workloads: dict[str, Workload] = {}
+    traces: dict[str, FunctionTrace | None] = {}
+    trace_cache: dict[str, _t.Any] = {}
+    for fn in scenario.functions:
+        workloads[fn.name], traces[fn.name] = resolve_workload(
+            fn, scenario.seed, trace_cache
+        )
+
+    scheduler = None
+    oracle_forecasters: dict | None = None
+    if auto.enabled:
+        database = ProfileDatabase.analytic(
+            {fn.name: MODEL_ZOO[fn.model] for fn in scenario.functions}
+        )
+        if auto.policy == "oracle":
+            oracle_forecasters = _oracle_forecasters(scenario, traces)
+        scheduler = platform.start_autoscaler(
+            database,
+            interval=auto.interval,
+            headroom=auto.headroom,
+            scale_down_cooldown=auto.scale_down_cooldown,
+            min_replicas=auto.min_replicas,
+            latency_headroom=auto.latency_headroom,
+            placement_policy=auto.placement,
+            policy=auto.policy,
+            forecasters=oracle_forecasters,
+            forecast_period_s=auto.forecast_period_s,
+            down_hysteresis=auto.down_hysteresis,
+            min_replicas_by_function={
+                fn.name: fn.min_replicas for fn in scenario.functions
+            },
+        )
+        # Initial pods at each function's efficient SLO-feasible point,
+        # placed through the scheduler so the policy owns every rectangle.
+        for fn in scenario.functions:
+            if fn.initial_count == 0:
+                continue
+            p_eff = scheduler.scaler.p_eff(fn.name)
+            for _ in range(fn.initial_count):
+                scheduler.place_pod(
+                    platform.controllers[fn.name],
+                    p_eff.sm_partition,
+                    p_eff.quota,
+                    p_eff.quota,
+                )
+    else:
+        _deploy_static(platform, scenario)
+    platform.wait_ready()
+
+    t_start = engine.now
+    if oracle_forecasters:
+        for forecaster in oracle_forecasters.values():
+            forecaster.origin = t_start  # trace offset 0 == replay start
+    platform.cluster.reset_metrics()
+    for fn in scenario.functions:
+        OpenLoopGenerator(engine, platform.gateway, fn.name, workloads[fn.name])
+
+    horizon = max(w.duration for w in workloads.values())
+    measurement = scenario.measurement
+    samples: list[tuple[float, int, dict[str, float]]] = []
+
+    def placement_state() -> tuple[int, dict[str, float]]:
+        if scheduler is not None:
+            return (
+                scheduler.placement.gpus_in_use(),
+                scheduler.placement.utilized_area_by_node(),
+            )
+        if scenario.cluster.sharing == "fast":
+            return platform._mra.gpus_in_use(), platform._mra.utilized_area_by_node()
+        hosts = {
+            pod.node_name for pod in platform.cluster.pods.values() if pod.node_name
+        }
+        return len(hosts), {}
+
+    def sample() -> None:
+        gpus, alloc = placement_state()
+        samples.append((engine.now, gpus, alloc))
+        if engine.now < t_start + horizon:
+            engine.schedule(measurement.sample_dt, sample)
+
+    engine.schedule(measurement.sample_dt, sample)
+
+    t0 = t_start
+    submitted_before: dict[str, int] = {}
+    events_before = 0
+    prewarms_before = retirements_before = promotions_before = 0
+    if measurement.warmup_s > 0:
+        engine.run(until=t_start + measurement.warmup_s)
+        # Everything measured — latency windows, node metrics, utilization
+        # samples, and control-plane event counts — restarts at t0 so the
+        # report covers only the post-warm-up window.
+        platform.cluster.reset_metrics()
+        t0 = engine.now
+        submitted_before = dict(platform.gateway.submitted)
+        samples.clear()
+        promotions_before = platform.gateway.promotions
+        if scheduler is not None:
+            events_before = len(scheduler.events)
+            prewarms_before = scheduler.predictive.prewarms
+            retirements_before = scheduler.predictive.retirements
+    engine.run(until=t_start + horizon + measurement.drain_s)
+    if scheduler is not None:
+        scheduler.stop()
+    end = engine.now
+
+    # -- aggregate the report ---------------------------------------------------
+    outcomes: list[FunctionOutcome] = []
+    violated_total = 0
+    completed_total = 0
+    submitted_total = 0
+    for fn in scenario.functions:
+        submitted = platform.gateway.submitted[fn.name] - submitted_before.get(fn.name, 0)
+        run = platform._report(fn.name, t0, end, submitted)
+        latencies = run.log.latencies_ms()
+        violated_total += int((latencies > run.slo_ms).sum()) if latencies.size else 0
+        completed_total += run.completed
+        submitted_total += submitted
+        outcomes.append(
+            FunctionOutcome(
+                name=fn.name,
+                model=fn.model,
+                shape=traces[fn.name].shape if traces[fn.name] is not None else None,
+                run=run,
+            )
+        )
+
+    window = platform.gateway.log.in_window(t0, end)
+    gpu_counts = [count for _, count, _ in samples]
+    alloc_fractions = [
+        sum(alloc.values()) / max(1, len([a for a in alloc.values() if a > 0]))
+        for _, _, alloc in samples
+        if any(a > 0 for a in alloc.values())
+    ]
+    if scheduler is not None:
+        window_events = scheduler.events[events_before:]
+        scale_ups = sum(1 for e in window_events if e.action == "up")
+        scale_downs = sum(1 for e in window_events if e.action == "down")
+        nofit_events = sum(1 for e in window_events if e.action == "nofit")
+        prewarms = scheduler.predictive.prewarms - prewarms_before
+        retirements = scheduler.predictive.retirements - retirements_before
+        replica_series = tuple(
+            (t - t0, dict(counts)) for t, counts in scheduler.replica_series
+        )
+    else:
+        scale_ups = scale_downs = nofit_events = prewarms = retirements = 0
+        replica_series = ()
+
+    return ScenarioReport(
+        scenario=scenario,
+        quick=quick,
+        t0=t0,
+        duration=end - t0,
+        horizon=horizon,
+        functions=tuple(outcomes),
+        overall_p95_ms=window.latency_percentile_ms(95),
+        overall_violation_ratio=(
+            violated_total / completed_total if completed_total else 0.0
+        ),
+        submitted=submitted_total,
+        completed=completed_total,
+        gpu_seconds=sum(gpu_counts) * measurement.sample_dt,
+        mean_gpus=sum(gpu_counts) / len(gpu_counts) if gpu_counts else 0.0,
+        peak_gpus=max(gpu_counts) if gpu_counts else 0,
+        mean_alloc_fraction=(
+            sum(alloc_fractions) / len(alloc_fractions) if alloc_fractions else 0.0
+        ),
+        utilization=tuple(
+            UtilizationSample(time=t - t0, gpus_in_use=count, alloc_by_node=dict(alloc))
+            for t, count, alloc in samples
+        ),
+        node_utilization={
+            name: util for name, util, _ in platform.cluster.node_metrics()
+        },
+        scale_ups=scale_ups,
+        scale_downs=scale_downs,
+        nofit_events=nofit_events,
+        prewarms=prewarms,
+        promotions=platform.gateway.promotions - promotions_before,
+        retirements=retirements,
+        replica_series=replica_series,
+    )

@@ -1,0 +1,656 @@
+"""The declarative multi-tenant Scenario spec: one JSON document → serve, measure, report.
+
+A :class:`Scenario` describes a complete serving experiment — the cluster
+(nodes + sharing mode), a fleet of functions (model, SLO, model sharing,
+replica floors), one workload per function (synthetic production shapes,
+inline per-bin counts, committed trace files, stepped or constant rates),
+the autoscaler policy, and the measurement window — as plain data.  It
+round-trips through JSON byte-for-byte, so scenarios are committed files
+(``examples/scenarios/*.json``) every bench, test, and future study replays
+through the *same* code path::
+
+    scenario = load_scenario("examples/scenarios/cold_bursty.json")
+    report = FaSTGShare.run_scenario(scenario)
+    print(report.summary())
+
+Validation is strict: unknown fields, unknown shapes/policies/GPU types, and
+out-of-range values raise :class:`ScenarioError` with the offending path
+(``functions[1].workload: unknown field 'shapee'``) — a typo'd spec can
+never silently run a different experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.autoscaler.controller import AUTOSCALE_POLICIES
+from repro.faas.traces import TRACE_SHAPES
+from repro.gpu.specs import GPU_CATALOG
+from repro.models import MODEL_ZOO
+from repro.scheduler.mra import PLACEMENT_POLICIES
+
+#: Format tag written into serialized scenarios (bumped on breaking change).
+SCENARIO_FORMAT = "fast-gshare-scenario/1"
+
+#: Sharing mechanisms the platform understands (see repro.platform docstring).
+SHARING_MODES = ("fast", "timeshare", "racing", "exclusive")
+
+#: Workload kinds a function entry may declare.
+WORKLOAD_KINDS = ("synthetic", "counts", "trace", "steps", "constant")
+
+
+class ScenarioError(ValueError):
+    """A scenario spec is malformed (unknown field, bad value, bad reference)."""
+
+
+def _require(payload: _t.Any, path: str) -> dict:
+    if not isinstance(payload, dict):
+        raise ScenarioError(f"{path}: expected an object, got {type(payload).__name__}")
+    return dict(payload)
+
+
+def _reject_unknown(leftover: dict, path: str) -> None:
+    if leftover:
+        fields = ", ".join(repr(k) for k in sorted(leftover))
+        raise ScenarioError(f"{path}: unknown field(s) {fields}")
+
+
+def _number(value: _t.Any, path: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(f"{path}: expected a number, got {value!r}")
+    return float(value)
+
+
+def _integer(value: _t.Any, path: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{path}: expected an integer, got {value!r}")
+    return int(value)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """One function's offered load, as data.
+
+    ``kind`` selects the arrival process:
+
+    * ``synthetic`` — a production trace shape synthesized from the scenario
+      seed (``shape``/``mean_rps``/``bins``/``bin_s``; see
+      :func:`repro.faas.traces.synthesize_trace`);
+    * ``counts``    — explicit per-bin invocation counts (``counts``/``bin_s``),
+      the fully pinned-down replay form benches use;
+    * ``trace``     — one function's counts from a committed
+      ``fast-gshare-trace/1`` file (``path``, optional ``trace_function``
+      naming the entry when it differs from the scenario function name);
+    * ``steps``     — a piecewise-constant rate staircase (``steps`` of
+      ``[duration_s, rps]`` pairs, Fig. 12 style);
+    * ``constant``  — a fixed rate over ``duration`` seconds
+      (``poisson`` jitters arrivals; false spaces them evenly).
+    """
+
+    kind: str
+    shape: str = "diurnal"
+    mean_rps: float = 10.0
+    bins: int = 30
+    bin_s: float = 60.0
+    counts: tuple[int, ...] = ()
+    path: str = ""
+    trace_function: str = ""
+    steps: tuple[tuple[float, float], ...] = ()
+    rps: float = 0.0
+    duration: float = 0.0
+    poisson: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ScenarioError(
+                f"workload: unknown kind {self.kind!r}; known: {WORKLOAD_KINDS}"
+            )
+        if self.kind == "synthetic":
+            if self.shape not in TRACE_SHAPES:
+                raise ScenarioError(
+                    f"workload: unknown shape {self.shape!r}; known: {TRACE_SHAPES}"
+                )
+            if self.mean_rps < 0:
+                raise ScenarioError("workload: mean_rps must be non-negative")
+            if self.bins < 1:
+                raise ScenarioError("workload: bins must be >= 1")
+            if self.bin_s <= 0:
+                raise ScenarioError("workload: bin_s must be positive")
+        elif self.kind == "counts":
+            if not self.counts:
+                raise ScenarioError("workload: counts needs at least one bin")
+            if any(c < 0 for c in self.counts):
+                raise ScenarioError("workload: counts must be non-negative")
+            if self.bin_s <= 0:
+                raise ScenarioError("workload: bin_s must be positive")
+        elif self.kind == "trace":
+            if not self.path:
+                raise ScenarioError("workload: trace kind needs a 'path'")
+        elif self.kind == "steps":
+            if not self.steps:
+                raise ScenarioError("workload: steps needs at least one [duration, rps] pair")
+            for duration, rps in self.steps:
+                if duration <= 0 or rps < 0:
+                    raise ScenarioError(f"workload: bad step [{duration}, {rps}]")
+        else:  # constant
+            if self.rps < 0:
+                raise ScenarioError("workload: rps must be non-negative")
+            if self.duration <= 0:
+                raise ScenarioError("workload: duration must be positive")
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {"kind": self.kind}
+        if self.kind == "synthetic":
+            payload.update(
+                shape=self.shape, mean_rps=self.mean_rps, bins=self.bins, bin_s=self.bin_s
+            )
+        elif self.kind == "counts":
+            payload.update(counts=list(self.counts), bin_s=self.bin_s, shape=self.shape)
+        elif self.kind == "trace":
+            payload.update(path=self.path)
+            if self.trace_function:
+                payload["trace_function"] = self.trace_function
+        elif self.kind == "steps":
+            payload.update(steps=[[d, r] for d, r in self.steps], poisson=self.poisson)
+        else:  # constant
+            payload.update(rps=self.rps, duration=self.duration, poisson=self.poisson)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "workload") -> "WorkloadSpec":
+        data = _require(payload, path)
+        kind = data.pop("kind", None)
+        if kind not in WORKLOAD_KINDS:
+            raise ScenarioError(f"{path}: unknown kind {kind!r}; known: {WORKLOAD_KINDS}")
+        kwargs: dict[str, _t.Any] = {"kind": kind}
+        if kind == "synthetic":
+            if "shape" in data:
+                kwargs["shape"] = str(data.pop("shape"))
+            if "mean_rps" in data:
+                kwargs["mean_rps"] = _number(data.pop("mean_rps"), f"{path}.mean_rps")
+            if "bins" in data:
+                kwargs["bins"] = _integer(data.pop("bins"), f"{path}.bins")
+            if "bin_s" in data:
+                kwargs["bin_s"] = _number(data.pop("bin_s"), f"{path}.bin_s")
+        elif kind == "counts":
+            raw = data.pop("counts", None)
+            if not isinstance(raw, list):
+                raise ScenarioError(f"{path}.counts: expected a list of integers")
+            kwargs["counts"] = tuple(_integer(c, f"{path}.counts[{i}]") for i, c in enumerate(raw))
+            if "bin_s" in data:
+                kwargs["bin_s"] = _number(data.pop("bin_s"), f"{path}.bin_s")
+            if "shape" in data:
+                kwargs["shape"] = str(data.pop("shape"))
+        elif kind == "trace":
+            kwargs["path"] = str(data.pop("path", ""))
+            if "trace_function" in data:
+                kwargs["trace_function"] = str(data.pop("trace_function"))
+        elif kind == "steps":
+            raw = data.pop("steps", None)
+            if not isinstance(raw, list):
+                raise ScenarioError(f"{path}.steps: expected a list of [duration, rps] pairs")
+            steps = []
+            for i, pair in enumerate(raw):
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise ScenarioError(f"{path}.steps[{i}]: expected a [duration, rps] pair")
+                steps.append(
+                    (
+                        _number(pair[0], f"{path}.steps[{i}][0]"),
+                        _number(pair[1], f"{path}.steps[{i}][1]"),
+                    )
+                )
+            kwargs["steps"] = tuple(steps)
+            if "poisson" in data:
+                kwargs["poisson"] = bool(data.pop("poisson"))
+        else:  # constant
+            if "rps" in data:
+                kwargs["rps"] = _number(data.pop("rps"), f"{path}.rps")
+            if "duration" in data:
+                kwargs["duration"] = _number(data.pop("duration"), f"{path}.duration")
+            if "poisson" in data:
+                kwargs["poisson"] = bool(data.pop("poisson"))
+        _reject_unknown(data, path)
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScenarioFunction:
+    """One tenant: a function, its model/SLO, and its offered workload.
+
+    ``slo_ms=None`` takes the model's calibrated SLO.  ``min_replicas`` is
+    the reactive floor the autoscaler defends for this function (predictive
+    policies may park below it during keep-alive scale-to-zero — that is
+    their point); ``initial_replicas`` pods are deployed warm before the
+    measured window opens (default: ``max(1, min_replicas)``).
+    """
+
+    name: str
+    model: str
+    workload: WorkloadSpec
+    slo_ms: float | None = None
+    model_sharing: bool = True
+    min_replicas: int = 1
+    initial_replicas: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("function: name must be non-empty")
+        if self.model not in MODEL_ZOO:
+            raise ScenarioError(
+                f"function {self.name!r}: unknown model {self.model!r}; "
+                f"known: {sorted(MODEL_ZOO)}"
+            )
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ScenarioError(f"function {self.name!r}: slo_ms must be positive")
+        if self.min_replicas < 0:
+            raise ScenarioError(f"function {self.name!r}: min_replicas must be >= 0")
+        if self.initial_replicas is not None and self.initial_replicas < 0:
+            raise ScenarioError(f"function {self.name!r}: initial_replicas must be >= 0")
+
+    @property
+    def initial_count(self) -> int:
+        """Pods deployed before the measured window (>=1 unless overridden)."""
+        if self.initial_replicas is not None:
+            return self.initial_replicas
+        return max(1, self.min_replicas)
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "name": self.name,
+            "model": self.model,
+            "workload": self.workload.to_dict(),
+        }
+        if self.slo_ms is not None:
+            payload["slo_ms"] = self.slo_ms
+        if not self.model_sharing:
+            payload["model_sharing"] = False
+        if self.min_replicas != 1:
+            payload["min_replicas"] = self.min_replicas
+        if self.initial_replicas is not None:
+            payload["initial_replicas"] = self.initial_replicas
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "function") -> "ScenarioFunction":
+        data = _require(payload, path)
+        name = str(data.pop("name", ""))
+        model = str(data.pop("model", ""))
+        workload = WorkloadSpec.from_dict(data.pop("workload", None), f"{path}.workload")
+        kwargs: dict[str, _t.Any] = {}
+        if "slo_ms" in data:
+            raw = data.pop("slo_ms")
+            kwargs["slo_ms"] = None if raw is None else _number(raw, f"{path}.slo_ms")
+        if "model_sharing" in data:
+            kwargs["model_sharing"] = bool(data.pop("model_sharing"))
+        if "min_replicas" in data:
+            kwargs["min_replicas"] = _integer(data.pop("min_replicas"), f"{path}.min_replicas")
+        if "initial_replicas" in data:
+            kwargs["initial_replicas"] = _integer(
+                data.pop("initial_replicas"), f"{path}.initial_replicas"
+            )
+        _reject_unknown(data, path)
+        return cls(name=name, model=model, workload=workload, **kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """The serving cluster: per-node GPU types (or N homogeneous nodes)."""
+
+    nodes: int | tuple[str, ...] = 1
+    gpu: str = "V100"
+    sharing: str = "fast"
+    window: float = 0.1
+
+    def __post_init__(self) -> None:
+        if isinstance(self.nodes, int):
+            if self.nodes < 1:
+                raise ScenarioError("cluster: need at least one node")
+        else:
+            if not self.nodes:
+                raise ScenarioError("cluster: need at least one node")
+            for name in self.nodes:
+                if name not in GPU_CATALOG:
+                    raise ScenarioError(
+                        f"cluster: unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}"
+                    )
+        if self.gpu not in GPU_CATALOG:
+            raise ScenarioError(
+                f"cluster: unknown GPU type {self.gpu!r}; known: {sorted(GPU_CATALOG)}"
+            )
+        if self.sharing not in SHARING_MODES:
+            raise ScenarioError(
+                f"cluster: unknown sharing mode {self.sharing!r}; known: {SHARING_MODES}"
+            )
+        if self.window <= 0:
+            raise ScenarioError("cluster: window must be positive")
+
+    @property
+    def node_count(self) -> int:
+        return self.nodes if isinstance(self.nodes, int) else len(self.nodes)
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "nodes": self.nodes if isinstance(self.nodes, int) else list(self.nodes),
+            "sharing": self.sharing,
+        }
+        if isinstance(self.nodes, int):
+            payload["gpu"] = self.gpu
+        if self.window != 0.1:
+            payload["window"] = self.window
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "cluster") -> "ClusterSpec":
+        data = _require(payload, path)
+        kwargs: dict[str, _t.Any] = {}
+        if "nodes" in data:
+            raw = data.pop("nodes")
+            if isinstance(raw, bool):
+                raise ScenarioError(f"{path}.nodes: expected an integer or a list of GPU types")
+            if isinstance(raw, int):
+                kwargs["nodes"] = raw
+            elif isinstance(raw, list):
+                kwargs["nodes"] = tuple(str(n) for n in raw)
+            else:
+                raise ScenarioError(f"{path}.nodes: expected an integer or a list of GPU types")
+        if "gpu" in data:
+            kwargs["gpu"] = str(data.pop("gpu"))
+        if "sharing" in data:
+            kwargs["sharing"] = str(data.pop("sharing"))
+        if "window" in data:
+            kwargs["window"] = _number(data.pop("window"), f"{path}.window")
+        _reject_unknown(data, path)
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AutoscalerSpec:
+    """The control plane: autoscaling policy + pre-warm/placement knobs.
+
+    ``policy`` is one of :data:`~repro.autoscaler.controller.AUTOSCALE_POLICIES`
+    (``oracle`` builds per-function trace oracles from each workload's
+    resolved counts, lead ``oracle_lead_s``); ``placement`` is one of
+    :data:`~repro.scheduler.mra.PLACEMENT_POLICIES`.  ``enabled=False`` runs a
+    static deployment (each function's ``initial_replicas`` pods, no control
+    loop) — the form the non-``fast`` sharing baselines use.
+    """
+
+    enabled: bool = True
+    policy: str = "reactive"
+    interval: float = 1.0
+    headroom: float = 1.3
+    scale_down_cooldown: float = 8.0
+    down_hysteresis: float = 0.1
+    min_replicas: int = 1
+    latency_headroom: float = 0.6
+    placement: str = "binpack"
+    forecast_period_s: float | None = None
+    oracle_lead_s: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in AUTOSCALE_POLICIES:
+            raise ScenarioError(
+                f"autoscaler: unknown policy {self.policy!r}; known: {AUTOSCALE_POLICIES}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ScenarioError(
+                f"autoscaler: unknown placement {self.placement!r}; "
+                f"known: {PLACEMENT_POLICIES}"
+            )
+        if self.interval <= 0:
+            raise ScenarioError("autoscaler: interval must be positive")
+        if self.headroom < 1.0:
+            raise ScenarioError("autoscaler: headroom must be >= 1")
+        if self.min_replicas < 0:
+            raise ScenarioError("autoscaler: min_replicas must be >= 0")
+        if self.oracle_lead_s < 0:
+            raise ScenarioError("autoscaler: oracle_lead_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {}
+        if not self.enabled:
+            payload["enabled"] = False
+        defaults = AutoscalerSpec()
+        for field in (
+            "policy",
+            "interval",
+            "headroom",
+            "scale_down_cooldown",
+            "down_hysteresis",
+            "min_replicas",
+            "latency_headroom",
+            "placement",
+            "forecast_period_s",
+            "oracle_lead_s",
+        ):
+            value = getattr(self, field)
+            if value != getattr(defaults, field):
+                payload[field] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "autoscaler") -> "AutoscalerSpec":
+        data = _require(payload, path)
+        kwargs: dict[str, _t.Any] = {}
+        if "enabled" in data:
+            kwargs["enabled"] = bool(data.pop("enabled"))
+        for field in ("policy", "placement"):
+            if field in data:
+                kwargs[field] = str(data.pop(field))
+        for field in (
+            "interval",
+            "headroom",
+            "scale_down_cooldown",
+            "down_hysteresis",
+            "latency_headroom",
+            "oracle_lead_s",
+        ):
+            if field in data:
+                kwargs[field] = _number(data.pop(field), f"{path}.{field}")
+        if "min_replicas" in data:
+            kwargs["min_replicas"] = _integer(data.pop("min_replicas"), f"{path}.min_replicas")
+        if "forecast_period_s" in data:
+            raw = data.pop("forecast_period_s")
+            kwargs["forecast_period_s"] = (
+                None if raw is None else _number(raw, f"{path}.forecast_period_s")
+            )
+        _reject_unknown(data, path)
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MeasurementSpec:
+    """The measured window: optional warm-up, post-horizon drain, sampling."""
+
+    warmup_s: float = 0.0
+    drain_s: float = 2.0
+    sample_dt: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.warmup_s < 0:
+            raise ScenarioError("measurement: warmup_s must be >= 0")
+        if self.drain_s < 0:
+            raise ScenarioError("measurement: drain_s must be >= 0")
+        if self.sample_dt <= 0:
+            raise ScenarioError("measurement: sample_dt must be positive")
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {}
+        defaults = MeasurementSpec()
+        for field in ("warmup_s", "drain_s", "sample_dt"):
+            value = getattr(self, field)
+            if value != getattr(defaults, field):
+                payload[field] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "measurement") -> "MeasurementSpec":
+        data = _require(payload, path)
+        kwargs: dict[str, _t.Any] = {}
+        for field in ("warmup_s", "drain_s", "sample_dt"):
+            if field in data:
+                kwargs[field] = _number(data.pop(field), f"{path}.{field}")
+        _reject_unknown(data, path)
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Scenario:
+    """One complete, declarative multi-tenant serving experiment."""
+
+    name: str
+    functions: tuple[ScenarioFunction, ...]
+    cluster: ClusterSpec = ClusterSpec()
+    autoscaler: AutoscalerSpec = AutoscalerSpec()
+    measurement: MeasurementSpec = MeasurementSpec()
+    seed: int = 42
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario: name must be non-empty")
+        if not self.functions:
+            raise ScenarioError("scenario: need at least one function")
+        names = [f.name for f in self.functions]
+        if len(set(names)) != len(names):
+            raise ScenarioError(f"scenario: duplicate function names: {names}")
+        if self.autoscaler.enabled and self.cluster.sharing != "fast":
+            raise ScenarioError(
+                "scenario: the autoscaler requires sharing='fast' "
+                f"(got {self.cluster.sharing!r}); set autoscaler.enabled=false "
+                "for static baseline modes"
+            )
+
+    def function(self, name: str) -> ScenarioFunction:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function {name!r} in scenario {self.name!r}")
+
+    # -- serialization ----------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {
+            "format": SCENARIO_FORMAT,
+            "name": self.name,
+            "seed": self.seed,
+            "cluster": self.cluster.to_dict(),
+            "functions": [f.to_dict() for f in self.functions],
+            "autoscaler": self.autoscaler.to_dict(),
+            "measurement": self.measurement.to_dict(),
+        }
+        if self.description:
+            payload["description"] = self.description
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any) -> "Scenario":
+        data = _require(payload, "scenario")
+        fmt = data.pop("format", None)
+        if fmt != SCENARIO_FORMAT:
+            raise ScenarioError(
+                f"scenario: unsupported format {fmt!r} (want {SCENARIO_FORMAT!r})"
+            )
+        name = str(data.pop("name", ""))
+        description = str(data.pop("description", ""))
+        seed = data.pop("seed", 42)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ScenarioError(f"scenario.seed: expected an integer, got {seed!r}")
+        cluster = (
+            ClusterSpec.from_dict(data.pop("cluster"), "cluster")
+            if "cluster" in data
+            else ClusterSpec()
+        )
+        raw_functions = data.pop("functions", None)
+        if not isinstance(raw_functions, list):
+            raise ScenarioError("scenario.functions: expected a list of function entries")
+        functions = tuple(
+            ScenarioFunction.from_dict(entry, f"functions[{i}]")
+            for i, entry in enumerate(raw_functions)
+        )
+        autoscaler = (
+            AutoscalerSpec.from_dict(data.pop("autoscaler"), "autoscaler")
+            if "autoscaler" in data
+            else AutoscalerSpec()
+        )
+        measurement = (
+            MeasurementSpec.from_dict(data.pop("measurement"), "measurement")
+            if "measurement" in data
+            else MeasurementSpec()
+        )
+        _reject_unknown(data, "scenario")
+        return cls(
+            name=name,
+            functions=functions,
+            cluster=cluster,
+            autoscaler=autoscaler,
+            measurement=measurement,
+            seed=seed,
+            description=description,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"scenario: invalid JSON ({exc})") from exc
+        return cls.from_dict(payload)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    # -- quick variant ----------------------------------------------------------
+    def quick(self) -> "Scenario":
+        """A deterministic shrunk variant for smoke runs (``--quick``).
+
+        Synthetic workloads shrink to <=8 bins of <=3 s; ``counts`` truncate
+        to their first 8 bins; ``steps``/``constant`` horizons scale down to
+        <=40 s / <=10 s; trace files replay unchanged (committed fixtures
+        are already small).  The autoscaler tick tightens to <=0.5 s so the
+        short horizon still sees scaling decisions.
+        """
+        functions = tuple(
+            dataclasses.replace(fn, workload=_quick_workload(fn.workload))
+            for fn in self.functions
+        )
+        autoscaler = dataclasses.replace(
+            self.autoscaler, interval=min(self.autoscaler.interval, 0.5)
+        )
+        return dataclasses.replace(self, functions=functions, autoscaler=autoscaler)
+
+
+def _quick_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.kind == "synthetic":
+        return dataclasses.replace(spec, bins=min(spec.bins, 8), bin_s=min(spec.bin_s, 3.0))
+    if spec.kind == "counts":
+        return dataclasses.replace(spec, counts=spec.counts[:8])
+    if spec.kind == "steps":
+        total = sum(d for d, _ in spec.steps)
+        if total <= 40.0:
+            return spec
+        factor = 40.0 / total
+        return dataclasses.replace(
+            spec, steps=tuple((d * factor, r) for d, r in spec.steps)
+        )
+    if spec.kind == "constant":
+        return dataclasses.replace(spec, duration=min(spec.duration, 10.0))
+    return spec  # trace files replay unchanged
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load a committed scenario JSON file from ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ScenarioError(f"{path}: cannot read scenario file ({exc})") from exc
+    try:
+        return Scenario.from_json(text)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from exc

@@ -258,6 +258,37 @@ class MaximalRectanglesScheduler:
         self._bindings[pod_id] = name
         return name
 
+    def bind_at(
+        self,
+        pod_id: str,
+        node: str,
+        w: float,
+        h: float,
+        target: Rect | None = None,
+        require_fit: bool = True,
+    ) -> Rect | None:
+        """Place ``pod_id`` on a chosen ``node`` and record the binding.
+
+        The public form of what callers used to do by poking ``gpus[...]``
+        and ``_bindings`` directly.  ``target`` pins the free rectangle
+        (e.g. the one :meth:`select_node` returned); ``require_fit=False``
+        tolerates a :class:`NoFitError` and returns ``None`` without
+        recording a binding — the deliberate over-subscription path pinned
+        single-GPU experiments use.
+        """
+        if pod_id in self._bindings:
+            raise ValueError(f"pod {pod_id} already bound")
+        if node not in self.gpus:
+            raise KeyError(f"unknown node {node!r}; known: {sorted(self.gpus)}")
+        try:
+            rect = self.gpus[node].place(pod_id, w, h, target=target)
+        except NoFitError:
+            if require_fit:
+                raise
+            return None
+        self._bindings[pod_id] = node
+        return rect
+
     def unbind(self, pod_id: str) -> str:
         """Release a pod's rectangle; returns the node it was on."""
         name = self._bindings.pop(pod_id, None)

@@ -75,6 +75,7 @@ class FaSTScheduler:
         max_down_per_tick: int = 1,
         placement_policy: str = "binpack",
         predictive: "PredictiveAutoscaler | None" = None,
+        min_replicas_by_function: _t.Mapping[str, int] | None = None,
     ):
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -91,6 +92,10 @@ class FaSTScheduler:
         self.headroom = headroom
         self.scale_down_cooldown = scale_down_cooldown
         self.min_replicas = min_replicas
+        # Per-function reactive floors (the declarative Scenario min_replicas);
+        # they override the global default, and the predictive policy may still
+        # park below them during keep-alive scale-to-zero (that is its point).
+        self.min_replicas_by_function = dict(min_replicas_by_function or {})
         self.down_hysteresis = down_hysteresis
         self.max_down_per_tick = max_down_per_tick
         slo_map = {name: c.function.slo_ms for name, c in self.controllers.items()}
@@ -174,8 +179,7 @@ class FaSTScheduler:
         node_name, rect = choice
         node = self.cluster.node(node_name)
         replica = controller.scale_up(node, sm_partition, quota_request, quota_limit, warm=warm)
-        self.placement.gpus[node_name].place(replica.pod.pod_id, width, sm_partition, target=rect)
-        self.placement._bindings[replica.pod.pod_id] = node_name
+        self.placement.bind_at(replica.pod.pod_id, node_name, width, sm_partition, target=rect)
         return replica
 
     def _memory_probe(self, controller: FaSTPodController):
@@ -210,7 +214,8 @@ class FaSTScheduler:
                 self._promotions_seen[name] = promoted
                 self._last_scale_up[name] = now
             predicted = self.predictive.predicted_rps(name) * self.headroom
-            floor = self.predictive.min_replicas_for(name, self.min_replicas)
+            base_floor = self.min_replicas_by_function.get(name, self.min_replicas)
+            floor = self.predictive.min_replicas_for(name, base_floor)
             floors[name] = floor
             pods = [
                 RunningPod(

@@ -1,0 +1,100 @@
+"""Azure Functions CSV → fast-gshare-trace/1 converter (ROADMAP item)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.faas.traces import TraceSet, classify_shape, from_azure_csv
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples"
+    / "traces"
+    / "azure_sample.csv"
+)
+
+
+def test_fixture_converts_and_round_trips():
+    traces = from_azure_csv(str(FIXTURE), models=["resnet50", "bert"])
+    # 5 rows: one is all-zero (dead) and is dropped; busiest first.
+    assert len(traces) == 4
+    totals = [t.total_invocations for t in traces]
+    assert totals == sorted(totals, reverse=True)
+    assert all(t.bin_s == 60.0 for t in traces)
+    assert all(len(t.counts) == 30 for t in traces)
+    # Same hash prefix deduplicates with a suffix.
+    names = [t.function for t in traces]
+    assert "azure-f1a2b3c4" in names and "azure-f1a2b3c4-2" in names
+    # The converted traces serialize in the committed trace schema unchanged.
+    trace_set = TraceSet(traces=tuple(traces))
+    text = trace_set.to_json()
+    assert TraceSet.from_json(text).to_json() == text
+
+
+def test_shapes_are_classified():
+    traces = {t.function: t for t in from_azure_csv(str(FIXTURE))}
+    assert traces["azure-c0ldc0ld"].shape == "cold"
+    assert traces["azure-beadfeed"].shape == "bursty"
+    assert traces["azure-f1a2b3c4"].shape in ("steady", "diurnal")
+    assert classify_shape([0] * 10) == "cold"
+    assert classify_shape([5, 5, 5, 5]) == "steady"
+    assert classify_shape([1] * 9 + [50]) == "bursty"
+
+
+def test_window_and_cap_and_scale():
+    traces = from_azure_csv(
+        str(FIXTURE), start_minute=5, minutes=10, max_functions=2, rps_scale=2.0
+    )
+    assert len(traces) == 2
+    assert all(len(t.counts) == 10 for t in traces)
+    baseline = from_azure_csv(str(FIXTURE), start_minute=5, minutes=10, max_functions=2)
+    for scaled, unscaled in zip(traces, baseline):
+        assert scaled.total_invocations == pytest.approx(
+            2 * unscaled.total_invocations, abs=len(unscaled.counts)
+        )
+
+
+def test_min_total_filter_drops_sparse_functions():
+    traces = from_azure_csv(str(FIXTURE), min_total_invocations=200)
+    assert {t.function for t in traces} == {"azure-f1a2b3c4", "azure-beadfeed"}
+
+
+def test_model_assignment_forms():
+    single = from_azure_csv(str(FIXTURE), models="bert")
+    assert {t.model for t in single} == {"bert"}
+    with pytest.raises(ValueError, match="unknown model"):
+        from_azure_csv(str(FIXTURE), models="resnet9000")
+    with pytest.raises(ValueError, match="no model mapped"):
+        from_azure_csv(str(FIXTURE), models={"nope": "bert"})
+
+
+def test_malformed_inputs_raise_actionable_errors(tmp_path):
+    not_azure = tmp_path / "not_azure.csv"
+    not_azure.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError, match="expected the header"):
+        from_azure_csv(str(not_azure))
+
+    ragged = tmp_path / "ragged.csv"
+    ragged.write_text("HashOwner,HashApp,HashFunction,Trigger,1,2\nx,y,z,http,3\n")
+    with pytest.raises(ValueError, match="expected 6 columns"):
+        from_azure_csv(str(ragged))
+
+    bad_cell = tmp_path / "bad_cell.csv"
+    bad_cell.write_text("HashOwner,HashApp,HashFunction,Trigger,1,2\nx,y,z,http,3,oops\n")
+    with pytest.raises(ValueError, match="non-integer invocation count"):
+        from_azure_csv(str(bad_cell))
+
+    with pytest.raises(ValueError, match="start_minute"):
+        from_azure_csv(str(FIXTURE), start_minute=1000)
+
+
+def test_converted_traces_replay_through_workload_api():
+    import numpy as np
+
+    trace = from_azure_csv(str(FIXTURE), max_functions=1)[0]
+    workload = trace.to_workload()
+    arrivals = list(workload.arrival_times(np.random.default_rng(0)))
+    assert len(arrivals) == trace.total_invocations
+    assert workload.duration == pytest.approx(trace.duration)

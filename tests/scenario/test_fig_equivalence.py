@@ -1,0 +1,71 @@
+"""The Scenario reroute preserves experiment results bit-for-bit.
+
+``tests/data/fig14_quick_baseline.json`` is the ``fig14_cluster.run(quick=True)``
+report captured at the commit *before* fig12/fig14/fig15 were rerouted
+through ``FaSTGShare.run_scenario``.  The rerouted experiment must replay the
+same seeds through the same operations and reproduce every per-policy metric
+— any drift means the one-code-path refactor changed behaviour, not just
+structure.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import fig14_cluster
+
+BASELINE = pathlib.Path(__file__).resolve().parents[1] / "data" / "fig14_quick_baseline.json"
+
+
+def test_fig14_quick_matches_pre_refactor_baseline():
+    baseline = json.loads(BASELINE.read_text())
+    result = fig14_cluster.run(quick=True)
+    payload = fig14_cluster.report_payload(result)
+
+    assert set(payload["policies"]) == set(baseline["policies"])
+    assert payload["nodes"] == baseline["nodes"]
+    assert payload["trace"] == baseline["trace"]
+    for policy, base_metrics in baseline["policies"].items():
+        fresh_metrics = payload["policies"][policy]
+        for key, base_value in base_metrics.items():
+            fresh_value = fresh_metrics[key]
+            if isinstance(base_value, dict):
+                assert set(fresh_value) == set(base_value), (policy, key)
+                for sub, value in base_value.items():
+                    assert fresh_value[sub] == pytest.approx(value, rel=1e-12), (
+                        policy,
+                        key,
+                        sub,
+                    )
+            elif isinstance(base_value, float):
+                assert fresh_value == pytest.approx(base_value, rel=1e-12), (policy, key)
+            else:
+                assert fresh_value == base_value, (policy, key)
+
+
+def test_fig14_scenarios_differ_only_in_placement_policy():
+    """The per-policy Scenarios are identical specs up to the policy field."""
+    from repro.faas.traces import synthesize_trace_set
+
+    trace_set = synthesize_trace_set(
+        [(f, m, s, r) for f, m, s, r in fig14_cluster.CLUSTER_FLEET[:2]],
+        bins=4,
+        bin_s=3.0,
+        seed=1,
+    )
+    scenarios = {
+        policy: fig14_cluster.scenario_for_policy(
+            trace_set, ["V100", "T4"], policy, seed=1, interval=0.5
+        )
+        for policy in ("binpack", "spread")
+    }
+    a = scenarios["binpack"].to_dict()
+    b = scenarios["spread"].to_dict()
+    assert a["functions"] == b["functions"]
+    assert a["cluster"] == b["cluster"]
+    # to_dict omits defaulted fields, so binpack (the default) is implicit.
+    assert a["autoscaler"].get("placement", "binpack") == "binpack"
+    assert b["autoscaler"]["placement"] == "spread"

@@ -130,3 +130,66 @@ def test_prewarm_gate_rejects_kind_mismatch(tmp_path, capsys):
     baseline = write(tmp_path, "b.json", make_prewarm_report())
     fresh = write(tmp_path, "f.json", make_report(150.0))
     assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+
+
+# -- scenario gate ----------------------------------------------------------------
+def make_scenario_report(overall=0.05, res=0.02, bq=0.08, completed=400, seed=42):
+    return {
+        "benchmark": "scenario",
+        "scenario": {"name": "tiny", "seed": seed},
+        "totals": {"slo_violation_ratio": overall, "completed": completed},
+        "functions": {
+            "res": {"slo_violation_ratio": res},
+            "bq": {"slo_violation_ratio": bq},
+        },
+    }
+
+
+def test_scenario_gate_passes_within_tolerance(tmp_path):
+    baseline = write(tmp_path, "b.json", make_scenario_report())
+    fresh = write(tmp_path, "f.json", make_scenario_report(res=0.024))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_scenario_gate_fails_on_function_regression(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_scenario_report())
+    fresh = write(tmp_path, "f.json", make_scenario_report(bq=0.20))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_scenario_gate_fails_on_overall_regression(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_scenario_report(overall=0.05))
+    fresh = write(tmp_path, "f.json", make_scenario_report(overall=0.09))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "overall" in capsys.readouterr().err
+
+
+def test_scenario_gate_fails_on_completed_drop(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_scenario_report(completed=400))
+    fresh = write(tmp_path, "f.json", make_scenario_report(completed=200))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "completed" in capsys.readouterr().err
+
+
+def test_scenario_gate_rejects_scenario_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_scenario_report(seed=42))
+    fresh = write(tmp_path, "f.json", make_scenario_report(seed=7))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "scenario mismatch" in capsys.readouterr().err
+
+
+def test_scenario_gate_rejects_quick_vs_full_mismatch(tmp_path, capsys):
+    quick_report = make_scenario_report()
+    quick_report["quick"] = True
+    full_report = make_scenario_report()
+    full_report["quick"] = False
+    baseline = write(tmp_path, "b.json", quick_report)
+    fresh = write(tmp_path, "f.json", full_report)
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "scenario mismatch" in capsys.readouterr().err
+
+
+def test_scenario_gate_passes_on_committed_baseline_against_itself():
+    committed = str(_GATE_PATH.parent / "BENCH_scenario_quick.json")
+    assert check_regression.main(["--baseline", committed, "--fresh", committed]) == 0

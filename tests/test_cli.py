@@ -1,4 +1,9 @@
-"""CLI contract tests: valid invocations succeed, typos exit non-zero."""
+"""CLI contract tests: valid invocations succeed, typos exit non-zero.
+
+The CLI is argparse subparsers (``run`` / ``list`` / ``scenario`` / ``bench``
+/ ``cluster-bench`` / ``prewarm-bench``); each subcommand owns its flags, so
+a bench flag on ``run`` is a usage error, not a silently ignored option.
+"""
 
 from __future__ import annotations
 
@@ -8,10 +13,32 @@ import pytest
 
 from repro.__main__ import main
 
+EXAMPLE_SCENARIO = str(
+    __import__("pathlib").Path(__file__).resolve().parents[1]
+    / "examples"
+    / "scenarios"
+    / "cold_bursty.json"
+)
+
+
+def test_no_subcommand_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_unknown_subcommand_exits_nonzero_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["benhc"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage:" in err and "invalid choice" in err
+
 
 def test_unknown_experiment_exits_nonzero_with_usage(capsys):
     with pytest.raises(SystemExit) as excinfo:
-        main(["benhc"])
+        main(["run", "fig99"])
     assert excinfo.value.code == 2
     err = capsys.readouterr().err
     assert "usage:" in err and "invalid choice" in err
@@ -20,6 +47,14 @@ def test_unknown_experiment_exits_nonzero_with_usage(capsys):
 def test_unknown_flag_exits_nonzero_with_usage(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["bench", "--quik"])
+    assert excinfo.value.code == 2
+    assert "usage:" in capsys.readouterr().err
+
+
+def test_bench_flags_do_not_leak_into_run(capsys):
+    # --trace-file belongs to the cluster benches; `run` must reject it.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "fig12", "--trace-file", "foo.json"])
     assert excinfo.value.code == 2
     assert "usage:" in capsys.readouterr().err
 
@@ -40,7 +75,7 @@ def test_bad_cluster_gpu_exits_nonzero(capsys):
 
 def test_bad_replicates_exits_nonzero(capsys):
     with pytest.raises(SystemExit) as excinfo:
-        main(["fig13", "--replicates", "0"])
+        main(["run", "fig13", "--replicates", "0"])
     assert excinfo.value.code == 2
     assert "--replicates" in capsys.readouterr().err
 
@@ -52,22 +87,16 @@ def test_bad_prewarm_policy_exits_nonzero(capsys):
     assert "unknown policy" in capsys.readouterr().err
 
 
-def test_trace_file_rejected_outside_benches(capsys):
-    with pytest.raises(SystemExit) as excinfo:
-        main(["fig12", "--trace-file", "foo.json"])
-    assert excinfo.value.code == 2
-    assert "--trace-file" in capsys.readouterr().err
-
-
 def test_missing_trace_file_exits_one(capsys):
     assert main(["prewarm-bench", "--quick", "--trace-file", "/nonexistent.json"]) == 1
 
 
-def test_list_mentions_cluster_bench(capsys):
+def test_list_mentions_every_subcommand(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "cluster-bench" in out and "fig14" in out
     assert "prewarm-bench" in out and "fig15" in out
+    assert "scenario" in out
 
 
 def test_cluster_bench_quick_writes_report(tmp_path, capsys):
@@ -80,7 +109,7 @@ def test_cluster_bench_quick_writes_report(tmp_path, capsys):
             "V100,A100,T4",
             "--policies",
             "binpack,affinity",
-            "--cluster-output",
+            "--output",
             str(out_path),
         ]
     )
@@ -95,3 +124,70 @@ def test_cluster_bench_quick_writes_report(tmp_path, capsys):
         assert metrics["completed"] > 0
     out = capsys.readouterr().out
     assert "cluster-scale trace replay" in out
+
+
+# -- scenario subcommand ----------------------------------------------------------
+
+
+def test_scenario_missing_file_exits_nonzero(capsys):
+    assert main(["scenario", "/nonexistent/spec.json"]) == 2
+    assert "cannot read scenario file" in capsys.readouterr().err
+
+
+def test_scenario_invalid_json_exits_nonzero(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert main(["scenario", str(path)]) == 2
+    assert "invalid JSON" in capsys.readouterr().err
+
+
+def test_scenario_unknown_field_exits_nonzero(tmp_path, capsys):
+    from repro.scenario import load_scenario
+
+    spec = json.loads(__import__("pathlib").Path(EXAMPLE_SCENARIO).read_text())
+    spec["functions"][0]["workload"]["shapee"] = "bursty"
+    path = tmp_path / "typo.json"
+    path.write_text(json.dumps(spec))
+    assert main(["scenario", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown field" in err and "shapee" in err
+    # sanity: the pristine committed file still loads
+    assert load_scenario(EXAMPLE_SCENARIO).name == "cold_bursty"
+
+
+def test_scenario_bad_policy_exits_nonzero(tmp_path, capsys):
+    spec = json.loads(__import__("pathlib").Path(EXAMPLE_SCENARIO).read_text())
+    spec["autoscaler"]["policy"] = "hybrdi"
+    path = tmp_path / "badpolicy.json"
+    path.write_text(json.dumps(spec))
+    assert main(["scenario", str(path)]) == 2
+    assert "unknown policy" in capsys.readouterr().err
+
+
+def test_scenario_quick_runs_and_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "scenario_report.json"
+    code = main(
+        [
+            "scenario",
+            EXAMPLE_SCENARIO,
+            "--quick",
+            "--output",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Scenario 'cold_bursty'" in out
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "scenario"
+    assert report["quick"] is True
+    assert report["scenario"]["name"] == "cold_bursty"
+    assert report["totals"]["completed"] > 0
+    assert set(report["functions"]) == {
+        f["name"] for f in report["scenario"]["functions"]
+    }
+    for metrics in report["functions"].values():
+        assert 0.0 <= metrics["slo_violation_ratio"] <= 1.0
+    assert report["cluster"]["peak_gpus"] >= 1
+    series = report["cluster"]["utilization_timeseries"]
+    assert len(series["t"]) == len(series["gpus_in_use"]) > 0

@@ -127,6 +127,6 @@ def test_cli_list_and_run(capsys):
     out = capsys.readouterr().out
     assert "fig08" in out and "headline" in out
 
-    assert main(["fig13", "--quick"]) == 0
+    assert main(["run", "fig13", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "Fig. 13" in out and "finished" in out

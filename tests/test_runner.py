@@ -67,7 +67,7 @@ def test_benchmark_report_schema(tmp_path):
 def test_cli_parallel_all_quick_smoke(capsys):
     from repro.__main__ import main
 
-    assert main(["fig13", "--quick", "--jobs", "2", "--replicates", "2"]) == 0
+    assert main(["run", "fig13", "--quick", "--jobs", "2", "--replicates", "2"]) == 0
     out = capsys.readouterr().out
     assert out.count("Fig. 13") == 2
     assert "[fig13 finished" in out and "[fig13 r1 finished" in out
