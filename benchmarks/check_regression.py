@@ -24,6 +24,12 @@ dispatched on the baseline's ``benchmark`` field:
   SLO-violation rate grows past the tolerance (plus the same absolute
   epsilon), or when the completed-request count drops by more than the
   tolerance.  Baseline and fresh must replay the same scenario name/seed.
+* ``sweep`` — a SweepReport (``python -m repro sweep ... --output``).  Cells
+  are matched on their grid coordinates; the gate fails when any matched
+  cell's SLO-violation rate grows past the tolerance (plus the epsilon) or
+  its completed-request count drops by more than the tolerance.  Baseline
+  and fresh must run the same sweep name/base seed, and every baseline cell
+  must still exist in the fresh grid.
 
 Usage::
 
@@ -46,7 +52,9 @@ import sys
 PREWARM_ABS_EPSILON = 0.005
 
 
-def load_report(path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario")) -> dict:
+def load_report(
+    path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep")
+) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
     if report.get("benchmark") not in kinds:
@@ -158,6 +166,62 @@ def check_scenario(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_sweep(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Sweep-report gate: per-cell SLO-violation and completed-count regressions."""
+    failures: list[str] = []
+    base_sweep = baseline.get("sweep") or {}
+    fresh_sweep = fresh.get("sweep") or {}
+    base_id = [
+        base_sweep.get("name"),
+        (base_sweep.get("base") or {}).get("seed"),
+        baseline.get("quick"),
+    ]
+    fresh_id = [
+        fresh_sweep.get("name"),
+        (fresh_sweep.get("base") or {}).get("seed"),
+        fresh.get("quick"),
+    ]
+    if base_id != fresh_id:
+        raise ValueError(
+            "sweep mismatch: the gate compares deterministic replays of the same "
+            "sweep name/base seed at the same quick/full horizon — "
+            f"baseline {base_id} vs fresh {fresh_id}"
+        )
+    base_cells = {cell["key"]: cell for cell in baseline.get("cells") or ()}
+    fresh_cells = {cell["key"]: cell for cell in fresh.get("cells") or ()}
+    if not base_cells:
+        raise ValueError("baseline sweep report has no cells")
+    missing = sorted(set(base_cells) - set(fresh_cells))
+    if missing:
+        raise ValueError(f"fresh sweep report is missing baseline cells: {missing}")
+    for key in sorted(base_cells):
+        base_metrics = base_cells[key]["metrics"]
+        fresh_metrics = fresh_cells[key]["metrics"]
+        base_rate = float(base_metrics["slo_violation_ratio"])
+        fresh_rate = float(fresh_metrics["slo_violation_ratio"])
+        bound = base_rate * (1.0 + tolerance) + PREWARM_ABS_EPSILON
+        marker = "  [REGRESSION]" if fresh_rate > bound else ""
+        print(
+            f"slo_violation_ratio[{key:<38}]: baseline {100 * base_rate:6.2f}%   "
+            f"fresh {100 * fresh_rate:6.2f}%   bound {100 * bound:6.2f}%{marker}"
+        )
+        if fresh_rate > bound:
+            failures.append(
+                f"{key}: SLO-violation rate regressed {100 * base_rate:.2f}% -> "
+                f"{100 * fresh_rate:.2f}% (bound {100 * bound:.2f}%)"
+            )
+        base_completed = int(base_metrics["completed"])
+        fresh_completed = int(fresh_metrics["completed"])
+        if base_completed > 0:
+            drop = relative_drop(base_completed, fresh_completed)
+            if drop > tolerance:
+                failures.append(
+                    f"{key}: completed requests dropped {100 * drop:.1f}% "
+                    f"({base_completed} -> {fresh_completed})"
+                )
+    return failures
+
+
 def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return the list of hard failures (empty = gate passes)."""
     failures: list[str] = []
@@ -234,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
             failures = check_prewarm(baseline, fresh, args.tolerance)
         elif kind == "scenario":
             failures = check_scenario(baseline, fresh, args.tolerance)
+        elif kind == "sweep":
+            failures = check_sweep(baseline, fresh, args.tolerance)
         else:
             failures = check(baseline, fresh, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:

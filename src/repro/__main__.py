@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig08 [--quick] [--seed 42]
     python -m repro run all --quick --jobs 4
     python -m repro scenario examples/scenarios/cold_bursty.json [--quick]
+    python -m repro sweep examples/sweeps/azure_fleet.json --quick --jobs 2
+    python -m repro sweep --diff A.json B.json   # compare two saved sweep reports
     python -m repro bench --quick                # writes BENCH_engine.json
     python -m repro cluster-bench --quick        # writes BENCH_cluster.json
     python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
@@ -26,11 +28,20 @@ path fig12/fig14/fig15 use — printing the report summary and optionally
 writing its JSON (``--output``).  A malformed spec (unknown field, bad
 policy, bad model) exits non-zero with the offending path.
 
+``sweep`` expands a committed parameter grid (see :mod:`repro.sweep`) over
+a base scenario and executes every cell — the same driver fig14/fig15 use
+for their policy comparisons — printing the cell table, per-axis deltas,
+and the SLO-vs-GPU-cost Pareto frontier; ``--jobs N`` fans cells across the
+process pool (bit-identical to serial).  ``sweep --diff A B`` compares two
+saved sweep reports cell by cell instead of running anything.
+
 ``cluster-bench`` replays a production-shaped trace set over a heterogeneous
 GPU cluster under each placement policy (``--nodes``/``--policies``);
 ``prewarm-bench`` replays the cold/bursty subset under each *autoscaling*
 mode.  Both accept ``--trace-file`` to replay a committed trace file instead
-of synthesizing one.
+of synthesizing one, ``--jobs N`` to fan the per-policy replays across the
+process pool, and ``--warmup SECONDS`` to open the measured window after the
+initial ramp.
 
 Any invalid invocation (unknown subcommand, bad ``--nodes``/``--policies``
 value, malformed scenario) exits non-zero with a usage message, and an
@@ -51,6 +62,7 @@ def _cmd_list() -> int:
         doc = (SIMPLE_EXPERIMENTS.get(name) or ablations).__doc__ or ""
         print(f"{name:<10} {doc.strip().splitlines()[0]}")
     print("scenario   Run a declarative scenario spec (examples/scenarios/*.json).")
+    print("sweep      Run a declarative parameter sweep (examples/sweeps/*.json) or diff reports.")
     print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
     print("prewarm-bench  Reactive-vs-predictive autoscaling replay (writes BENCH_prewarm.json).")
@@ -112,6 +124,57 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import dataclasses
+
+    from repro.sweep import SweepError, diff_reports, load_sweep, load_sweep_report, run_sweep
+
+    if args.diff is not None:
+        if args.spec is not None:
+            parser.error("sweep: give either a SPEC.json to run or --diff A B, not both")
+        try:
+            a = load_sweep_report(args.diff[0])
+            b = load_sweep_report(args.diff[1])
+            print(diff_reports(a, b))
+        except SweepError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except BrokenPipeError:  # e.g. `python -m repro sweep --diff ... | head`
+            return 0
+        return 0
+    if args.spec is None:
+        parser.error("sweep: needs a SPEC.json to run (or --diff A B)")
+    try:
+        sweep = load_sweep(args.spec)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        sweep = dataclasses.replace(
+            sweep, base=dataclasses.replace(sweep.base, seed=args.seed)
+        )
+    try:
+        report = run_sweep(
+            sweep,
+            quick=args.quick,
+            jobs=args.jobs,
+            progress=lambda cell: print(f"[cell {cell.key} done]", file=sys.stderr),
+        )
+        print(report.summary())
+        if args.output:
+            report.save(args.output)
+            print(f"[report written to {args.output}]")
+    except BrokenPipeError:  # e.g. `python -m repro sweep ... | head`
+        return 0
+    except Exception as exc:  # bad trace reference, runner blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: sweep {sweep.name!r}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     report = runner.write_benchmark_report(args.output, quick=args.quick, jobs=args.jobs)
     churn = report["device_churn"]
@@ -160,6 +223,8 @@ def _cmd_cluster_like(args: argparse.Namespace, parser: argparse.ArgumentParser)
     for policy in policies:
         if policy not in known_policies:
             parser.error(f"unknown policy {policy!r}; known: {known_policies}")
+    if len(set(policies)) != len(policies):
+        parser.error(f"--policies lists a policy twice: {','.join(policies)}")
     try:
         if prewarm:
             result = fig15_prewarm.run(
@@ -168,6 +233,8 @@ def _cmd_cluster_like(args: argparse.Namespace, parser: argparse.ArgumentParser)
                 nodes=nodes,
                 policies=policies,
                 trace_file=args.trace_file,
+                jobs=args.jobs,
+                warmup_s=args.warmup,
             )
             print(fig15_prewarm.format_result(result))
             fig15_prewarm.write_prewarm_report(args.output, result)
@@ -178,6 +245,8 @@ def _cmd_cluster_like(args: argparse.Namespace, parser: argparse.ArgumentParser)
                 nodes=nodes,
                 policies=policies,
                 trace_file=args.trace_file,
+                jobs=args.jobs,
+                warmup_s=args.warmup,
             )
             print(fig14_cluster.format_result(result))
             fig14_cluster.write_cluster_report(args.output, result)
@@ -244,6 +313,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the ScenarioReport JSON here",
     )
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run a declarative parameter sweep (JSON) or diff two reports"
+    )
+    p_sweep.add_argument(
+        "spec", nargs="?", default=None, metavar="SPEC.json", help="path to a sweep file"
+    )
+    p_sweep.add_argument(
+        "--quick", action="store_true", help="run each cell's deterministic shrunk variant"
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the grid cells (default: 1 = serial; "
+        "bit-identical to serial)",
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=None, help="override the base scenario's seed"
+    )
+    p_sweep.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the SweepReport JSON here",
+    )
+    p_sweep.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("A.json", "B.json"),
+        help="compare two saved sweep reports cell by cell instead of running",
+    )
+
     p_bench = sub.add_parser("bench", help="engine micro-benchmark")
     p_bench.add_argument("--quick", action="store_true")
     p_bench.add_argument("--jobs", type=int, default=1, metavar="N")
@@ -286,6 +389,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="replay a committed trace file (fast-gshare-trace/1 JSON) "
             "instead of synthesizing one",
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the per-policy replays "
+            "(default: 1 = serial; bit-identical to serial)",
+        )
+        p.add_argument(
+            "--warmup",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="exclude the first SECONDS of the replay from every metric "
+            "(steady-state window; default 0 measures from t=0)",
+        )
     return parser
 
 
@@ -300,6 +419,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
     if args.command == "bench":
         return _cmd_bench(args)
     return _cmd_cluster_like(args, parser)

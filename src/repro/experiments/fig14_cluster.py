@@ -28,7 +28,6 @@ import typing as _t
 from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
 from repro.gpu.specs import gpu_spec
 from repro.models.scaling import gpu_type_factor
-from repro.platform import FaSTGShare
 from repro.scenario import (
     AutoscalerSpec,
     ClusterSpec,
@@ -38,6 +37,7 @@ from repro.scenario import (
     WorkloadSpec,
 )
 from repro.scheduler.mra import PLACEMENT_POLICIES
+from repro.sweep import CellResult, Sweep, SweepAxis, run_sweep
 
 #: (function, model, trace shape, mean rps) — the default service fleet.
 #: Shapes cover the three production regimes; loads are sized so the full
@@ -95,21 +95,24 @@ class ClusterResult:
         raise KeyError(f"no outcome for policy {policy!r}")
 
 
-def scenario_for_policy(
+def sweep_for_policies(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
-    policy: str,
+    policies: _t.Sequence[str],
     seed: int,
     interval: float,
     sample_dt: float = 1.0,
-) -> Scenario:
-    """The declarative form of one policy's replay: trace counts pinned inline.
+    warmup_s: float = 0.0,
+) -> Sweep:
+    """The declarative form of the whole comparison: one Sweep, one axis.
 
-    Every policy's Scenario embeds the *same* per-bin counts (``counts``
-    workloads), so the replays are identical except for the placement policy
-    under test.  Model sharing stays on fleet-wide — it keeps trace-burst
-    scale-ups warm-start cheap (the paper's architecture point; without it
-    cold-tail functions pay a full model load on every flash crowd).
+    The base Scenario embeds the replayed per-bin counts (``counts``
+    workloads) once; the ``placement`` axis expands it into one cell per
+    policy, so every cell replays identical arrivals from the shared seed
+    and the reported differences are attributable to placement alone.
+    Model sharing stays on fleet-wide — it keeps trace-burst scale-ups
+    warm-start cheap (the paper's architecture point; without it cold-tail
+    functions pay a full model load on every flash crowd).
     """
     functions = tuple(
         ScenarioFunction(
@@ -122,8 +125,8 @@ def scenario_for_policy(
         )
         for trace in trace_set.traces
     )
-    return Scenario(
-        name=f"fig14-{policy}",
+    base = Scenario(
+        name="fig14",
         seed=seed,
         cluster=ClusterSpec(nodes=tuple(nodes)),
         functions=functions,
@@ -133,37 +136,47 @@ def scenario_for_policy(
             headroom=1.3,
             scale_down_cooldown=8.0,
             down_hysteresis=0.3,
-            placement=policy,
         ),
-        measurement=MeasurementSpec(drain_s=2.0, sample_dt=sample_dt),
+        measurement=MeasurementSpec(warmup_s=warmup_s, drain_s=2.0, sample_dt=sample_dt),
+    )
+    return Sweep(
+        name="fig14-placement",
+        base=base,
+        axes=(SweepAxis(axis="placement", values=tuple(policies)),),
+        description="Fig. 14: heterogeneous-cluster trace replay per placement policy",
     )
 
 
-def _replay_policy(
+def scenario_for_policy(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
     policy: str,
     seed: int,
     interval: float,
     sample_dt: float = 1.0,
-) -> PolicyOutcome:
-    """Replay the trace set under one placement policy via the Scenario API."""
-    scenario = scenario_for_policy(trace_set, nodes, policy, seed, interval, sample_dt)
-    report = FaSTGShare.run_scenario(scenario)
+) -> Scenario:
+    """One policy's fully materialized replay Scenario (a single sweep cell)."""
+    sweep = sweep_for_policies(trace_set, nodes, [policy], seed, interval, sample_dt)
+    return sweep.cells()[0].scenario
+
+
+def _outcome_from_cell(cell: CellResult) -> PolicyOutcome:
+    """Reduce one executed sweep cell to this figure's per-policy metrics."""
+    metrics = cell.metrics
     return PolicyOutcome(
-        policy=policy,
-        submitted=report.submitted,
-        completed=report.completed,
-        slo_violation_ratio=report.overall_violation_ratio,
-        per_function_violations=report.per_function_violations,
-        p95_ms=report.overall_p95_ms,
-        peak_gpus=report.peak_gpus,
-        mean_gpus=report.mean_gpus,
-        mean_alloc_fraction=report.mean_alloc_fraction,
-        node_utilization=report.node_utilization,
-        scale_ups=report.scale_ups,
-        scale_downs=report.scale_downs,
-        nofit_events=report.nofit_events,
+        policy=dict(cell.coords)["placement"],
+        submitted=metrics["submitted"],
+        completed=metrics["completed"],
+        slo_violation_ratio=metrics["slo_violation_ratio"],
+        per_function_violations=metrics["per_function_violations"],
+        p95_ms=metrics["p95_ms"],
+        peak_gpus=metrics["peak_gpus"],
+        mean_gpus=metrics["mean_gpus"],
+        mean_alloc_fraction=metrics["mean_alloc_fraction"],
+        node_utilization=metrics["node_utilization"],
+        scale_ups=metrics["scale_ups"],
+        scale_downs=metrics["scale_downs"],
+        nofit_events=metrics["nofit_events"],
     )
 
 
@@ -176,12 +189,17 @@ def run(
     bin_s: float | None = None,
     fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
     trace_file: str | None = None,
+    jobs: int = 1,
+    warmup_s: float = 0.0,
 ) -> ClusterResult:
     """Replay a production-shaped trace set under each placement policy.
 
     ``trace_file`` replays a committed/public trace file (see
     :func:`repro.faas.traces.load_trace_file`) instead of synthesizing one;
-    the fleet, horizon, and bin width then come from the file.
+    the fleet, horizon, and bin width then come from the file.  ``jobs``
+    fans the per-policy cells across the experiment process pool
+    (bit-identical to serial); ``warmup_s`` opens the measured window after
+    the initial ramp (default 0 preserves the pinned historical metrics).
     """
     if nodes is None:
         nodes = QUICK_NODES if quick else DEFAULT_NODES
@@ -209,9 +227,9 @@ def run(
         trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
     interval = 0.5 if quick else 1.0
 
-    outcomes = tuple(
-        _replay_policy(trace_set, nodes, policy, seed, interval) for policy in policies
-    )
+    sweep = sweep_for_policies(trace_set, nodes, policies, seed, interval, warmup_s=warmup_s)
+    sweep_report = run_sweep(sweep, jobs=jobs)
+    outcomes = tuple(_outcome_from_cell(cell) for cell in sweep_report.cells)
     node_factors = {f"node{i}": gpu_type_factor(gpu_spec(name)) for i, name in enumerate(nodes)}
     return ClusterResult(
         nodes=tuple(nodes),

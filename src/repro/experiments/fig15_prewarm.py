@@ -38,7 +38,6 @@ import typing as _t
 
 from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
 from repro.experiments.fig14_cluster import CLUSTER_FLEET, QUICK_NODES
-from repro.platform import FaSTGShare
 from repro.scenario import (
     AutoscalerSpec,
     ClusterSpec,
@@ -47,6 +46,7 @@ from repro.scenario import (
     ScenarioFunction,
     WorkloadSpec,
 )
+from repro.sweep import CellResult, Sweep, SweepAxis, run_sweep
 
 #: The fig14 cold/bursty subset — the traffic shapes where cold starts bite.
 PREWARM_FLEET: tuple[tuple[str, str, str, float], ...] = tuple(
@@ -123,24 +123,28 @@ class PrewarmResult:
 
 #: fig15 mode → the autoscaler policy its Scenario declares.
 _AUTOSCALE_POLICY = {"reactive": "reactive", "predictive": "hybrid", "oracle": "oracle"}
+#: ...and back: sweep-cell autoscaler coordinate → fig15 mode name.
+_MODE_FOR_POLICY = {v: k for k, v in _AUTOSCALE_POLICY.items()}
 
 
-def scenario_for_policy(
+def sweep_for_policies(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
-    policy: str,
+    policies: _t.Sequence[str],
     seed: int,
     interval: float,
     sample_dt: float = 1.0,
-) -> Scenario:
-    """The declarative form of one autoscaling mode's replay.
+    warmup_s: float = 0.0,
+) -> Sweep:
+    """The declarative form of the whole comparison: one autoscaler axis.
 
-    Every mode's Scenario embeds the *same* per-bin counts; only the
-    autoscaler policy differs.  The oracle mode's per-function trace
-    forecasters are built by the scenario runner from those counts
-    (``oracle_lead_s`` seconds of lead).  All modes start from the same
-    deployed state — one warm pod per function — which the predictive
-    modes may scale to zero.
+    Every cell embeds the *same* per-bin counts; only the autoscaler policy
+    differs (``policies`` are fig15 mode names — reactive / predictive /
+    oracle — mapped onto their controller policies).  The oracle cell's
+    per-function trace forecasters are built by the scenario runner from
+    those counts (``oracle_lead_s`` seconds of lead).  All cells start from
+    the same deployed state — one warm pod per function — which the
+    predictive modes may scale to zero.
     """
     functions = tuple(
         ScenarioFunction(
@@ -153,13 +157,13 @@ def scenario_for_policy(
         )
         for trace in trace_set.traces
     )
-    return Scenario(
-        name=f"fig15-{policy}",
+    base = Scenario(
+        name="fig15",
         seed=seed,
         cluster=ClusterSpec(nodes=tuple(nodes)),
         functions=functions,
         autoscaler=AutoscalerSpec(
-            policy=_AUTOSCALE_POLICY[policy],
+            policy="reactive",
             interval=interval,
             headroom=1.3,
             scale_down_cooldown=8.0,
@@ -167,48 +171,59 @@ def scenario_for_policy(
             placement="binpack",
             oracle_lead_s=4.0,
         ),
-        measurement=MeasurementSpec(drain_s=2.0, sample_dt=sample_dt),
+        measurement=MeasurementSpec(warmup_s=warmup_s, drain_s=2.0, sample_dt=sample_dt),
+    )
+    return Sweep(
+        name="fig15-autoscaler",
+        base=base,
+        axes=(
+            SweepAxis(
+                axis="autoscaler",
+                values=tuple(_AUTOSCALE_POLICY[p] for p in policies),
+            ),
+        ),
+        description="Fig. 15: predictive pre-warming vs reactive autoscaling",
     )
 
 
-def _replay_policy(
+def scenario_for_policy(
     trace_set: TraceSet,
     nodes: _t.Sequence[str],
     policy: str,
     seed: int,
     interval: float,
     sample_dt: float = 1.0,
-) -> PrewarmOutcome:
-    """Replay the trace set under one autoscaling mode via the Scenario API."""
-    scenario = scenario_for_policy(trace_set, nodes, policy, seed, interval, sample_dt)
-    report = FaSTGShare.run_scenario(scenario)
-    cold_hits = sum(o.run.cold_hit_requests for o in report.functions)
-    # Window-wide wait means pool the per-function logs (their union is the
-    # full measured window — every request belongs to a scenario function).
-    all_cold = [w for o in report.functions for w in o.run.log.cold_waits_ms()]
-    all_queue = [w for o in report.functions for w in o.run.log.queue_waits_ms()]
+) -> Scenario:
+    """One mode's fully materialized replay Scenario (a single sweep cell)."""
+    sweep = sweep_for_policies(trace_set, nodes, [policy], seed, interval, sample_dt)
+    return sweep.cells()[0].scenario
+
+
+def _outcome_from_cell(cell: CellResult) -> PrewarmOutcome:
+    """Reduce one executed sweep cell to this figure's per-mode metrics."""
+    metrics = cell.metrics
     return PrewarmOutcome(
-        policy=policy,
-        submitted=report.submitted,
-        completed=report.completed,
-        slo_violation_ratio=report.overall_violation_ratio,
-        per_function_violations=report.per_function_violations,
-        p95_ms=report.overall_p95_ms,
-        cold_hit_requests=cold_hits,
-        cold_wait_ms_mean=sum(all_cold) / len(all_cold) if all_cold else 0.0,
-        queue_wait_ms_mean=sum(all_queue) / len(all_queue) if all_queue else 0.0,
-        pod_cold_starts=report.scale_ups
-        + sum(f.initial_count for f in scenario.functions)  # pre-placed pods
-        + report.prewarms,
-        prewarms=report.prewarms,
-        promotions=report.promotions,
-        retirements=report.retirements,
-        gpu_seconds=report.gpu_seconds,
-        mean_gpus=report.mean_gpus,
-        peak_gpus=report.peak_gpus,
-        scale_ups=report.scale_ups,
-        scale_downs=report.scale_downs,
-        nofit_events=report.nofit_events,
+        policy=_MODE_FOR_POLICY[dict(cell.coords)["autoscaler"]],
+        submitted=metrics["submitted"],
+        completed=metrics["completed"],
+        slo_violation_ratio=metrics["slo_violation_ratio"],
+        per_function_violations=metrics["per_function_violations"],
+        p95_ms=metrics["p95_ms"],
+        cold_hit_requests=metrics["cold_hit_requests"],
+        cold_wait_ms_mean=metrics["cold_wait_ms_mean"],
+        queue_wait_ms_mean=metrics["queue_wait_ms_mean"],
+        pod_cold_starts=metrics["scale_ups"]
+        + metrics["initial_pods"]  # pre-placed pods
+        + metrics["prewarms"],
+        prewarms=metrics["prewarms"],
+        promotions=metrics["promotions"],
+        retirements=metrics["retirements"],
+        gpu_seconds=metrics["gpu_seconds"],
+        mean_gpus=metrics["mean_gpus"],
+        peak_gpus=metrics["peak_gpus"],
+        scale_ups=metrics["scale_ups"],
+        scale_downs=metrics["scale_downs"],
+        nofit_events=metrics["nofit_events"],
     )
 
 
@@ -221,11 +236,16 @@ def run(
     bin_s: float | None = None,
     fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
     trace_file: str | None = None,
+    jobs: int = 1,
+    warmup_s: float = 0.0,
 ) -> PrewarmResult:
     """Replay the cold/bursty trace set under each autoscaling mode.
 
     ``trace_file`` replays a committed trace file (see
     :func:`repro.faas.traces.load_trace_file`) instead of synthesizing one.
+    ``jobs`` fans the per-mode cells across the experiment process pool
+    (bit-identical to serial); ``warmup_s`` opens the measured window after
+    the initial ramp (default 0 preserves the pinned historical metrics).
     """
     if nodes is None:
         nodes = QUICK_NODES if quick else PREWARM_NODES
@@ -253,9 +273,9 @@ def run(
         trace_set = synthesize_trace_set(list(fleet), bins=bins, bin_s=bin_s, seed=seed)
     interval = 0.5 if quick else 1.0
 
-    outcomes = tuple(
-        _replay_policy(trace_set, nodes, policy, seed, interval) for policy in policies
-    )
+    sweep = sweep_for_policies(trace_set, nodes, policies, seed, interval, warmup_s=warmup_s)
+    sweep_report = run_sweep(sweep, jobs=jobs)
+    outcomes = tuple(_outcome_from_cell(cell) for cell in sweep_report.cells)
     return PrewarmResult(
         nodes=tuple(nodes),
         functions=tuple(fleet),

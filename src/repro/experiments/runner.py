@@ -131,6 +131,32 @@ def build_tasks(
     ]
 
 
+_TaskT = _t.TypeVar("_TaskT")
+_ResultT = _t.TypeVar("_ResultT")
+
+
+def map_tasks(
+    fn: _t.Callable[[_TaskT], _ResultT], tasks: _t.Iterable[_TaskT], *, jobs: int = 1
+) -> _t.Iterator[_ResultT]:
+    """Order-preserving serial-or-process-pool map — the one pool code path.
+
+    Every parallel driver in the repo (the figure suite, scenario sweeps)
+    routes through here: ``jobs <= 1`` maps lazily in-process (consumers
+    print incrementally), ``jobs > 1`` fans ``fn`` across a
+    ``ProcessPoolExecutor``.  ``fn`` and each task must be picklable, and —
+    because every simulation derives all randomness from seeds carried *in*
+    the task — results are bit-identical between the two paths; they differ
+    only in wall-clock time.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield fn(task)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        yield from pool.map(fn, tasks)
+
+
 def iter_suite(
     names: _t.Sequence[str],
     *,
@@ -147,12 +173,7 @@ def iter_suite(
     as soon as its task finishes, so CLI consumers print incrementally.
     """
     tasks = build_tasks(names, seed=seed, quick=quick, replicates=replicates)
-    if jobs <= 1 or len(tasks) == 1:
-        for task in tasks:
-            yield run_task(task)
-        return
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        yield from pool.map(run_task, tasks)
+    yield from map_tasks(run_task, tasks, jobs=jobs)
 
 
 def run_suite(

@@ -11,6 +11,7 @@ workloads concurrently, sample placement utilization, and aggregate a
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
 from repro.faas.loadgen import OpenLoopGenerator
@@ -73,6 +74,9 @@ def resolve_workload(
                 f"function {fn.name!r}: trace file {spec.path!r} has no entry "
                 f"{wanted!r} (known: {trace_set.functions})"
             ) from exc
+        if spec.max_bins and spec.max_bins < len(trace.counts):
+            # quick()/max_bins: replay only the leading window of the file.
+            trace = dataclasses.replace(trace, counts=trace.counts[: spec.max_bins])
         return trace.to_workload(), trace
     if spec.kind == "steps":
         return StepTrace(list(spec.steps), poisson=spec.poisson), None
@@ -291,7 +295,11 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
         prewarms = scheduler.predictive.prewarms - prewarms_before
         retirements = scheduler.predictive.retirements - retirements_before
         replica_series = tuple(
-            (t - t0, dict(counts)) for t, counts in scheduler.replica_series
+            # Warm-up ticks stay out: the series covers only the measured
+            # window, on the window's own time base (like every other metric).
+            (t - t0, dict(counts))
+            for t, counts in scheduler.replica_series
+            if t >= t0
         )
     else:
         scale_ups = scale_downs = nofit_events = prewarms = retirements = 0

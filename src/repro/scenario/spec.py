@@ -82,7 +82,9 @@ class WorkloadSpec:
       the fully pinned-down replay form benches use;
     * ``trace``     — one function's counts from a committed
       ``fast-gshare-trace/1`` file (``path``, optional ``trace_function``
-      naming the entry when it differs from the scenario function name);
+      naming the entry when it differs from the scenario function name,
+      optional ``max_bins`` replaying only the first N bins — the knob
+      ``quick()`` uses so committed multi-hour slices smoke-run in CI);
     * ``steps``     — a piecewise-constant rate staircase (``steps`` of
       ``[duration_s, rps]`` pairs, Fig. 12 style);
     * ``constant``  — a fixed rate over ``duration`` seconds
@@ -97,6 +99,7 @@ class WorkloadSpec:
     counts: tuple[int, ...] = ()
     path: str = ""
     trace_function: str = ""
+    max_bins: int = 0
     steps: tuple[tuple[float, float], ...] = ()
     rps: float = 0.0
     duration: float = 0.0
@@ -107,6 +110,8 @@ class WorkloadSpec:
             raise ScenarioError(
                 f"workload: unknown kind {self.kind!r}; known: {WORKLOAD_KINDS}"
             )
+        if self.max_bins and self.kind != "trace":
+            raise ScenarioError("workload: max_bins only applies to trace workloads")
         if self.kind == "synthetic":
             if self.shape not in TRACE_SHAPES:
                 raise ScenarioError(
@@ -128,6 +133,8 @@ class WorkloadSpec:
         elif self.kind == "trace":
             if not self.path:
                 raise ScenarioError("workload: trace kind needs a 'path'")
+            if self.max_bins < 0:
+                raise ScenarioError("workload: max_bins must be >= 0 (0 = all bins)")
         elif self.kind == "steps":
             if not self.steps:
                 raise ScenarioError("workload: steps needs at least one [duration, rps] pair")
@@ -152,6 +159,8 @@ class WorkloadSpec:
             payload.update(path=self.path)
             if self.trace_function:
                 payload["trace_function"] = self.trace_function
+            if self.max_bins:
+                payload["max_bins"] = self.max_bins
         elif self.kind == "steps":
             payload.update(steps=[[d, r] for d, r in self.steps], poisson=self.poisson)
         else:  # constant
@@ -187,6 +196,8 @@ class WorkloadSpec:
             kwargs["path"] = str(data.pop("path", ""))
             if "trace_function" in data:
                 kwargs["trace_function"] = str(data.pop("trace_function"))
+            if "max_bins" in data:
+                kwargs["max_bins"] = _integer(data.pop("max_bins"), f"{path}.max_bins")
         elif kind == "steps":
             raw = data.pop("steps", None)
             if not isinstance(raw, list):
@@ -611,9 +622,10 @@ class Scenario:
 
         Synthetic workloads shrink to <=8 bins of <=3 s; ``counts`` truncate
         to their first 8 bins; ``steps``/``constant`` horizons scale down to
-        <=40 s / <=10 s; trace files replay unchanged (committed fixtures
-        are already small).  The autoscaler tick tightens to <=0.5 s so the
-        short horizon still sees scaling decisions.
+        <=40 s / <=10 s; ``trace`` workloads replay only their first 8 bins
+        (``max_bins``), so committed multi-hour slices smoke-run in CI
+        without bespoke quick fixtures.  The autoscaler tick tightens to
+        <=0.5 s so the short horizon still sees scaling decisions.
         """
         functions = tuple(
             dataclasses.replace(fn, workload=_quick_workload(fn.workload))
@@ -640,7 +652,9 @@ def _quick_workload(spec: WorkloadSpec) -> WorkloadSpec:
         )
     if spec.kind == "constant":
         return dataclasses.replace(spec, duration=min(spec.duration, 10.0))
-    return spec  # trace files replay unchanged
+    # trace: replay only the first bins of the committed file.
+    quick_bins = min(spec.max_bins, 8) if spec.max_bins else 8
+    return dataclasses.replace(spec, max_bins=quick_bins)
 
 
 def load_scenario(path: str) -> Scenario:

@@ -1,11 +1,13 @@
-"""The Scenario reroute preserves experiment results bit-for-bit.
+"""Experiment reroutes preserve results bit-for-bit.
 
 ``tests/data/fig14_quick_baseline.json`` is the ``fig14_cluster.run(quick=True)``
 report captured at the commit *before* fig12/fig14/fig15 were rerouted
-through ``FaSTGShare.run_scenario``.  The rerouted experiment must replay the
-same seeds through the same operations and reproduce every per-policy metric
-— any drift means the one-code-path refactor changed behaviour, not just
-structure.
+through ``FaSTGShare.run_scenario``; ``tests/data/fig15_quick_baseline.json``
+is the ``fig15_prewarm.run(quick=True)`` report captured before the
+per-policy loops were rerouted through the declarative ``Sweep`` API.  The
+rerouted experiments must replay the same seeds through the same operations
+and reproduce every per-policy metric — any drift means a one-code-path
+refactor changed behaviour, not just structure.
 """
 
 from __future__ import annotations
@@ -15,16 +17,14 @@ import pathlib
 
 import pytest
 
-from repro.experiments import fig14_cluster
+from repro.experiments import fig14_cluster, fig15_prewarm
 
-BASELINE = pathlib.Path(__file__).resolve().parents[1] / "data" / "fig14_quick_baseline.json"
+DATA = pathlib.Path(__file__).resolve().parents[1] / "data"
+BASELINE = DATA / "fig14_quick_baseline.json"
+FIG15_BASELINE = DATA / "fig15_quick_baseline.json"
 
 
-def test_fig14_quick_matches_pre_refactor_baseline():
-    baseline = json.loads(BASELINE.read_text())
-    result = fig14_cluster.run(quick=True)
-    payload = fig14_cluster.report_payload(result)
-
+def assert_policies_match(payload: dict, baseline: dict) -> None:
     assert set(payload["policies"]) == set(baseline["policies"])
     assert payload["nodes"] == baseline["nodes"]
     assert payload["trace"] == baseline["trace"]
@@ -44,6 +44,33 @@ def test_fig14_quick_matches_pre_refactor_baseline():
                 assert fresh_value == pytest.approx(base_value, rel=1e-12), (policy, key)
             else:
                 assert fresh_value == base_value, (policy, key)
+
+
+def test_fig14_quick_matches_pre_refactor_baseline():
+    baseline = json.loads(BASELINE.read_text())
+    result = fig14_cluster.run(quick=True)
+    payload = fig14_cluster.report_payload(result)
+    assert_policies_match(payload, baseline)
+
+
+def test_fig15_quick_matches_pre_sweep_baseline():
+    baseline = json.loads(FIG15_BASELINE.read_text())
+    result = fig15_prewarm.run(quick=True)
+    payload = fig15_prewarm.report_payload(result)
+    assert_policies_match(payload, baseline)
+    assert payload["headline"]["violation_improvement_vs_reactive"] == pytest.approx(
+        baseline["headline"]["violation_improvement_vs_reactive"], rel=1e-12
+    )
+    assert payload["headline"]["gpu_seconds_overhead_vs_reactive"] == pytest.approx(
+        baseline["headline"]["gpu_seconds_overhead_vs_reactive"], rel=1e-12
+    )
+
+
+def test_fig14_jobs_matches_serial():
+    """The pooled per-policy cells reproduce the serial replay exactly."""
+    serial = fig14_cluster.report_payload(fig14_cluster.run(quick=True))
+    parallel = fig14_cluster.report_payload(fig14_cluster.run(quick=True, jobs=2))
+    assert json.dumps(serial, sort_keys=True) == json.dumps(parallel, sort_keys=True)
 
 
 def test_fig14_scenarios_differ_only_in_placement_policy():

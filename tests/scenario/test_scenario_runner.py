@@ -214,6 +214,71 @@ def test_warmup_excludes_ramp_from_all_measurements():
     assert warm_report.submitted < cold_report.submitted
 
 
+def test_warmup_keeps_replica_series_inside_the_window():
+    warm = tiny_scenario(
+        measurement=MeasurementSpec(warmup_s=6.0, drain_s=2.0, sample_dt=0.5)
+    )
+    report = run_scenario(warm)
+    # Scheduler ticks fire from t=0, but the reported series starts at the
+    # warm-up boundary on the window's own time base — no negative times.
+    assert report.replica_series, "scheduler recorded no replica series"
+    assert all(t >= 0.0 for t, _ in report.replica_series)
+    assert report.replica_series[0][0] <= report.duration
+
+
+def test_trace_max_bins_slices_the_replayed_window():
+    trace_path = REPO_ROOT / "examples" / "traces" / "cold_bursty_small.json"
+    trace_payload = json.loads(trace_path.read_text())
+    entry = trace_payload["traces"][0]
+    scenario = Scenario(
+        name="sliced",
+        seed=5,
+        cluster=ClusterSpec(nodes=("V100",)),
+        functions=(
+            ScenarioFunction(
+                name="replayed",
+                model=entry["model"],
+                workload=WorkloadSpec(
+                    kind="trace",
+                    path=str(trace_path),
+                    trace_function=entry["function"],
+                    max_bins=3,
+                ),
+            ),
+        ),
+        autoscaler=AutoscalerSpec(policy="reactive", interval=0.5),
+    )
+    workload, trace = resolve_workload(scenario.functions[0], scenario.seed)
+    assert list(trace.counts) == list(entry["counts"][:3])
+    assert workload.duration == pytest.approx(3 * entry["bin_s"])
+    report = run_scenario(scenario)
+    assert report.function("replayed").run.submitted == sum(entry["counts"][:3])
+
+
+def test_quick_slices_trace_workloads_end_to_end():
+    trace_path = REPO_ROOT / "examples" / "traces" / "azure_medium.json"
+    trace_payload = json.loads(trace_path.read_text())
+    entry = trace_payload["traces"][0]
+    scenario = Scenario(
+        name="azure-one",
+        seed=5,
+        cluster=ClusterSpec(nodes=("V100",)),
+        functions=(
+            ScenarioFunction(
+                name=entry["function"],
+                model=entry["model"],
+                workload=WorkloadSpec(kind="trace", path=str(trace_path)),
+            ),
+        ),
+        autoscaler=AutoscalerSpec(policy="reactive", interval=0.5),
+    )
+    assert len(entry["counts"]) > 8  # the committed slice is multi-hour
+    report = run_scenario(scenario, quick=True)
+    # The quick replay covers exactly the first 8 bins of the committed file.
+    assert report.horizon == pytest.approx(8 * entry["bin_s"])
+    assert report.function(entry["function"]).run.submitted == sum(entry["counts"][:8])
+
+
 def test_quick_flag_uses_shrunk_variant():
     scenario = tiny_scenario(
         functions=(

@@ -169,6 +169,28 @@ def test_quick_variant_shrinks_deterministically():
     assert [r for _, r in qs.steps] == [10.0, 20.0]
 
 
+def test_quick_variant_slices_trace_workloads():
+    trace_spec = WorkloadSpec(kind="trace", path="examples/traces/azure_medium.json")
+    from repro.scenario.spec import _quick_workload
+
+    assert _quick_workload(trace_spec).max_bins == 8
+    # An explicit tighter window survives quick(); a looser one is clamped.
+    assert _quick_workload(dataclasses.replace(trace_spec, max_bins=4)).max_bins == 4
+    assert _quick_workload(dataclasses.replace(trace_spec, max_bins=50)).max_bins == 8
+
+
+def test_trace_max_bins_validation_and_round_trip():
+    with pytest.raises(ScenarioError, match="max_bins"):
+        WorkloadSpec(kind="trace", path="t.json", max_bins=-1)
+    with pytest.raises(ScenarioError, match="max_bins"):
+        WorkloadSpec(kind="counts", counts=(1,), max_bins=4)
+    spec = WorkloadSpec(kind="trace", path="t.json", max_bins=6)
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+    assert spec.to_dict()["max_bins"] == 6
+    # max_bins=0 (replay everything) stays out of the serialized form.
+    assert "max_bins" not in WorkloadSpec(kind="trace", path="t.json").to_dict()
+
+
 def test_scenario_function_lookup():
     scenario = sample_scenario()
     assert scenario.function("counts-fn").model == "bert"

@@ -1,0 +1,121 @@
+"""Sweep execution contracts: pooled == serial bit-for-bit, metrics shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
+from repro.sweep import HEADLINE_METRICS, Sweep, SweepAxis, run_sweep
+
+
+def tiny_sweep(**overrides) -> Sweep:
+    base = Scenario(
+        name="tiny",
+        seed=3,
+        cluster=ClusterSpec(nodes=("V100", "T4")),
+        functions=(
+            ScenarioFunction(
+                name="res",
+                model="resnet50",
+                workload=WorkloadSpec(kind="counts", counts=(12, 20, 6), bin_s=3.0),
+            ),
+            ScenarioFunction(
+                name="bq",
+                model="bert",
+                workload=WorkloadSpec(kind="counts", counts=(3, 6, 2), bin_s=3.0),
+            ),
+        ),
+        autoscaler=AutoscalerSpec(policy="reactive", interval=0.5),
+        measurement=MeasurementSpec(drain_s=2.0, sample_dt=0.5),
+    )
+    fields = dict(
+        name="tiny-grid",
+        base=base,
+        axes=(
+            SweepAxis(axis="placement", values=("binpack", "spread")),
+            SweepAxis(axis="fleet_size", values=(1, 2)),
+        ),
+    )
+    fields.update(overrides)
+    return Sweep(**fields)
+
+
+def test_parallel_is_bit_identical_to_serial():
+    sweep = tiny_sweep()
+    serial = run_sweep(sweep)
+    parallel = run_sweep(sweep, jobs=2)
+    assert serial.to_json() == parallel.to_json()
+
+
+def test_cells_carry_metrics_and_full_reports():
+    report = run_sweep(tiny_sweep())
+    assert len(report.cells) == 4
+    for cell in report.cells:
+        for metric in HEADLINE_METRICS:
+            assert metric in cell.metrics, metric
+        assert cell.metrics["completed"] > 0
+        # the embedded ScenarioReport payload is the standard scenario JSON
+        assert cell.report["benchmark"] == "scenario"
+        assert cell.report["scenario"]["name"] == f"tiny[{cell.key}]"
+        assert cell.seed == 3  # shared-seed sweep: identical arrivals per cell
+    # fleet_size=1 cells serve one function, fleet_size=2 cells serve both
+    assert len(report.cell(fleet_size=1, placement="binpack").report["functions"]) == 1
+    assert len(report.cell(fleet_size=2, placement="binpack").report["functions"]) == 2
+
+
+def test_run_is_deterministic_across_invocations():
+    first = run_sweep(tiny_sweep())
+    second = run_sweep(tiny_sweep())
+    assert first.to_json() == second.to_json()
+
+
+def test_quick_runs_shrunk_cells():
+    base = tiny_sweep()
+    report = run_sweep(base, quick=True)
+    assert report.quick is True
+    for cell in report.cells:
+        # quick() tightened the tick; the embedded report says quick too.
+        assert cell.report["quick"] is True
+
+
+def test_budget_overrun_warns_but_does_not_enter_the_payload(capsys):
+    sweep = tiny_sweep(cell_budget_s=1e-9)  # everything overruns
+    report = run_sweep(sweep)
+    err = capsys.readouterr().err
+    assert "budget" in err
+    # Wall-clock never enters the payload: serial and pooled runs serialize
+    # identically regardless of how long cells actually took.
+    assert "elapsed" not in report.to_json()
+
+
+def test_progress_callback_sees_every_cell_in_order():
+    seen: list[str] = []
+    report = run_sweep(tiny_sweep(), progress=lambda cell: seen.append(cell.key))
+    assert seen == [cell.key for cell in report.cells]
+
+
+def test_report_round_trips_through_json():
+    report = run_sweep(tiny_sweep())
+    from repro.sweep import SweepReport
+
+    again = SweepReport.from_json(report.to_json())
+    assert again.to_json() == report.to_json()
+    assert [c.key for c in again.cells] == [c.key for c in report.cells]
+    # JSON float serialization is repr-round-trip exact in Python.
+    assert again.cells[0].metrics == report.cells[0].metrics
+
+
+def test_reseeded_sweep_varies_arrivals():
+    shared = run_sweep(tiny_sweep())
+    reseeded = run_sweep(tiny_sweep(reseed=True))
+    shared_seeds = {c.seed for c in shared.cells}
+    reseeded_seeds = {c.seed for c in reseeded.cells}
+    assert shared_seeds == {3}
+    assert len(reseeded_seeds) == len(reseeded.cells)

@@ -193,3 +193,90 @@ def test_scenario_gate_rejects_quick_vs_full_mismatch(tmp_path, capsys):
 def test_scenario_gate_passes_on_committed_baseline_against_itself():
     committed = str(_GATE_PATH.parent / "BENCH_scenario_quick.json")
     assert check_regression.main(["--baseline", committed, "--fresh", committed]) == 0
+
+
+# -- sweep gate -------------------------------------------------------------------
+def make_sweep_report(cells=None, name="grid", seed=7, quick=True):
+    if cells is None:
+        cells = {
+            "placement=binpack": (0.01, 500),
+            "placement=spread": (0.03, 480),
+        }
+    return {
+        "benchmark": "sweep",
+        "quick": quick,
+        "sweep": {"name": name, "base": {"seed": seed}},
+        "cells": [
+            {
+                "key": key,
+                "metrics": {"slo_violation_ratio": rate, "completed": completed},
+            }
+            for key, (rate, completed) in cells.items()
+        ],
+    }
+
+
+def test_sweep_gate_passes_within_tolerance(tmp_path):
+    baseline = write(tmp_path, "b.json", make_sweep_report())
+    fresh = write(
+        tmp_path,
+        "f.json",
+        make_sweep_report(
+            {"placement=binpack": (0.012, 500), "placement=spread": (0.033, 470)}
+        ),
+    )
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_sweep_gate_fails_on_cell_violation_regression(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_sweep_report())
+    fresh = write(
+        tmp_path,
+        "f.json",
+        make_sweep_report(
+            {"placement=binpack": (0.01, 500), "placement=spread": (0.08, 480)}
+        ),
+    )
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "placement=spread" in err
+
+
+def test_sweep_gate_fails_on_completed_drop(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_sweep_report())
+    fresh = write(
+        tmp_path,
+        "f.json",
+        make_sweep_report(
+            {"placement=binpack": (0.01, 100), "placement=spread": (0.03, 480)}
+        ),
+    )
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "completed requests dropped" in capsys.readouterr().err
+
+
+def test_sweep_gate_allows_near_zero_noise(tmp_path):
+    baseline = write(tmp_path, "b.json", make_sweep_report({"placement=binpack": (0.0, 500)}))
+    fresh = write(tmp_path, "f.json", make_sweep_report({"placement=binpack": (0.004, 500)}))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_sweep_gate_rejects_missing_cells(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_sweep_report())
+    fresh = write(
+        tmp_path, "f.json", make_sweep_report({"placement=binpack": (0.01, 500)})
+    )
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "missing baseline cells" in capsys.readouterr().err
+
+
+def test_sweep_gate_rejects_sweep_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_sweep_report(seed=7))
+    fresh = write(tmp_path, "f.json", make_sweep_report(seed=8))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "sweep mismatch" in capsys.readouterr().err
+
+
+def test_sweep_gate_passes_on_committed_baseline_against_itself():
+    committed = str(_GATE_PATH.parent / "BENCH_sweep_quick.json")
+    assert check_regression.main(["--baseline", committed, "--fresh", committed]) == 0

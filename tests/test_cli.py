@@ -1,13 +1,15 @@
 """CLI contract tests: valid invocations succeed, typos exit non-zero.
 
-The CLI is argparse subparsers (``run`` / ``list`` / ``scenario`` / ``bench``
-/ ``cluster-bench`` / ``prewarm-bench``); each subcommand owns its flags, so
-a bench flag on ``run`` is a usage error, not a silently ignored option.
+The CLI is argparse subparsers (``run`` / ``list`` / ``scenario`` / ``sweep``
+/ ``bench`` / ``cluster-bench`` / ``prewarm-bench``); each subcommand owns
+its flags, so a bench flag on ``run`` is a usage error, not a silently
+ignored option.
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
 
 import pytest
 
@@ -191,3 +193,126 @@ def test_scenario_quick_runs_and_writes_report(tmp_path, capsys):
     assert report["cluster"]["peak_gpus"] >= 1
     series = report["cluster"]["utilization_timeseries"]
     assert len(series["t"]) == len(series["gpus_in_use"]) > 0
+
+
+def _tiny_sweep_spec(tmp_path):
+    """Write a minimal runnable sweep spec and return its path."""
+    spec = {
+        "format": "fast-gshare-sweep/1",
+        "name": "cli-grid",
+        "base": {
+            "format": "fast-gshare-scenario/1",
+            "name": "cli-base",
+            "seed": 5,
+            "cluster": {"nodes": ["V100"], "sharing": "fast"},
+            "functions": [
+                {
+                    "name": "res",
+                    "model": "resnet50",
+                    "workload": {"kind": "counts", "counts": [6, 10], "bin_s": 2.0},
+                }
+            ],
+            "autoscaler": {"interval": 0.5},
+            "measurement": {},
+        },
+        "axes": [{"axis": "placement", "values": ["binpack", "spread"]}],
+    }
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(spec))
+    return str(path)
+
+
+def test_sweep_without_spec_or_diff_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep"])
+    assert excinfo.value.code == 2
+    assert "SPEC.json" in capsys.readouterr().err
+
+
+def test_sweep_spec_plus_diff_exits_nonzero(tmp_path, capsys):
+    spec = _tiny_sweep_spec(tmp_path)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", spec, "--diff", "a.json", "b.json"])
+    assert excinfo.value.code == 2
+
+
+def test_sweep_missing_file_exits_two(capsys):
+    assert main(["sweep", "no/such/sweep.json"]) == 2
+    assert "cannot read sweep file" in capsys.readouterr().err
+
+
+def test_sweep_unknown_axis_exits_two(tmp_path, capsys):
+    spec = json.loads(pathlib.Path(_tiny_sweep_spec(tmp_path)).read_text())
+    spec["axes"].append({"axis": "warp_drive", "values": [1]})
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(spec))
+    assert main(["sweep", str(path)]) == 2
+    assert "unknown axis" in capsys.readouterr().err
+
+
+def test_sweep_runs_and_writes_report(tmp_path, capsys):
+    spec = _tiny_sweep_spec(tmp_path)
+    out_path = tmp_path / "sweep_report.json"
+    assert main(["sweep", spec, "--quick", "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep 'cli-grid'" in out
+    assert "placement=spread" in out
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "sweep"
+    assert report["quick"] is True
+    assert [cell["key"] for cell in report["cells"]] == [
+        "placement=binpack",
+        "placement=spread",
+    ]
+    for cell in report["cells"]:
+        assert cell["metrics"]["completed"] > 0
+        assert cell["report"]["benchmark"] == "scenario"
+
+
+def test_sweep_jobs_output_matches_serial(tmp_path):
+    spec = _tiny_sweep_spec(tmp_path)
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    assert main(["sweep", spec, "--quick", "--output", str(serial_path)]) == 0
+    assert main(["sweep", spec, "--quick", "--jobs", "2", "--output", str(parallel_path)]) == 0
+    assert serial_path.read_text() == parallel_path.read_text()
+
+
+def test_sweep_diff_compares_saved_reports(tmp_path, capsys):
+    spec = _tiny_sweep_spec(tmp_path)
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["sweep", spec, "--quick", "--output", str(a)]) == 0
+    assert main(["sweep", spec, "--quick", "--seed", "9", "--output", str(b)]) == 0
+    capsys.readouterr()  # drop the run output
+    assert main(["sweep", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "matched 2" in out
+    assert "Δviol(pp)" in out
+
+
+def test_sweep_diff_rejects_non_report(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text("{}")
+    assert main(["sweep", "--diff", str(path), str(path)]) == 2
+    assert "unsupported format" in capsys.readouterr().err
+
+
+def test_sweep_diff_malformed_cells_exits_two(tmp_path, capsys):
+    spec = _tiny_sweep_spec(tmp_path)
+    good = tmp_path / "good.json"
+    assert main(["sweep", spec, "--quick", "--output", str(good)]) == 0
+    report = json.loads(good.read_text())
+    del report["cells"][0]["coords"]  # structurally broken report
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(report))
+    capsys.readouterr()
+    assert main(["sweep", "--diff", str(bad), str(good)]) == 2
+    assert "coords" in capsys.readouterr().err
+
+
+def test_duplicate_policies_exit_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["prewarm-bench", "--quick", "--policies", "reactive,reactive"])
+    assert excinfo.value.code == 2
+    assert "twice" in capsys.readouterr().err
