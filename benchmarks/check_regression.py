@@ -30,6 +30,13 @@ dispatched on the baseline's ``benchmark`` field:
   its completed-request count drops by more than the tolerance.  Baseline
   and fresh must run the same sweep name/base seed, and every baseline cell
   must still exist in the fresh grid.
+* ``swap`` — the memory-tier keep-alive comparison (``BENCH_swap.json``).
+  Deterministic replays again: the gate fails when any policy's violation
+  rate grows past the tolerance (plus the epsilon), when the ``memtier``
+  policy's GPU-seconds saving over either baseline shrinks by more than the
+  tolerance, or when the headline stops holding — memtier must stay
+  strictly cheaper in GPU-seconds than both scale-to-zero and WARM_IDLE-only
+  at an equal-or-better violation rate.
 
 Usage::
 
@@ -53,7 +60,7 @@ PREWARM_ABS_EPSILON = 0.005
 
 
 def load_report(
-    path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep")
+    path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep", "swap")
 ) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
@@ -222,6 +229,60 @@ def check_sweep(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_swap(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Swap-report gate: keep-alive violation rates plus the domination headline."""
+    failures: list[str] = []
+    key = ("trace", "nodes", "fleet_size", "host_memory_mb", "fabric_gbps")
+    base_id = [baseline.get(k) for k in key]
+    fresh_id = [fresh.get(k) for k in key]
+    if base_id != fresh_id:
+        raise ValueError(
+            "swap-bench mismatch: the gate compares deterministic replays of the "
+            f"same fleet/cluster/trace — baseline {base_id} vs fresh {fresh_id}"
+        )
+    shared = sorted(set(baseline["policies"]) & set(fresh["policies"]))
+    if not shared:
+        raise ValueError("no common policies between baseline and fresh swap reports")
+    for policy in shared:
+        base_rate = float(baseline["policies"][policy]["slo_violation_ratio"])
+        fresh_rate = float(fresh["policies"][policy]["slo_violation_ratio"])
+        bound = base_rate * (1.0 + tolerance) + PREWARM_ABS_EPSILON
+        marker = "  [REGRESSION]" if fresh_rate > bound else ""
+        print(
+            f"slo_violation_ratio[{policy:<10}]: baseline {100 * base_rate:6.2f}%   "
+            f"fresh {100 * fresh_rate:6.2f}%   bound {100 * bound:6.2f}%{marker}"
+        )
+        if fresh_rate > bound:
+            failures.append(
+                f"{policy}: SLO-violation rate regressed {100 * base_rate:.2f}% -> "
+                f"{100 * fresh_rate:.2f}% (bound {100 * bound:.2f}%)"
+            )
+    base_head = baseline.get("headline") or {}
+    fresh_head = fresh.get("headline") or {}
+    if not fresh_head.get("dominates", False):
+        failures.append(
+            "memtier no longer strictly dominates: it must spend fewer GPU-seconds "
+            "than both scale-to-zero and WARM_IDLE-only at <= their violation rates"
+        )
+    for label in ("gpu_seconds_saving_vs_scale_to_zero", "gpu_seconds_saving_vs_warmidle"):
+        if label not in base_head or label not in fresh_head:
+            continue
+        base_saving = float(base_head[label])
+        fresh_saving = float(fresh_head[label])
+        shrink = base_saving - fresh_saving
+        note = "  [REGRESSION]" if shrink > tolerance * max(base_saving, 0.0) else ""
+        print(
+            f"{label:<38}: baseline {100 * base_saving:6.2f}%   "
+            f"fresh {100 * fresh_saving:6.2f}%{note}"
+        )
+        if shrink > tolerance * max(base_saving, 0.0):
+            failures.append(
+                f"{label}: GPU-seconds saving shrank {100 * base_saving:.2f}% -> "
+                f"{100 * fresh_saving:.2f}%"
+            )
+    return failures
+
+
 def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return the list of hard failures (empty = gate passes)."""
     failures: list[str] = []
@@ -300,6 +361,8 @@ def main(argv: list[str] | None = None) -> int:
             failures = check_scenario(baseline, fresh, args.tolerance)
         elif kind == "sweep":
             failures = check_sweep(baseline, fresh, args.tolerance)
+        elif kind == "swap":
+            failures = check_swap(baseline, fresh, args.tolerance)
         else:
             failures = check(baseline, fresh, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:

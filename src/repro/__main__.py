@@ -11,6 +11,7 @@ Usage::
     python -m repro bench --quick                # writes BENCH_engine.json
     python -m repro cluster-bench --quick        # writes BENCH_cluster.json
     python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
+    python -m repro swap-bench --quick           # writes BENCH_swap.json
 
 Each subcommand owns its flags (``--nodes`` belongs to the cluster benches,
 ``--output`` to whatever report that subcommand writes) instead of leaking
@@ -43,6 +44,12 @@ of synthesizing one, ``--jobs N`` to fan the per-policy replays across the
 process pool, and ``--warmup SECONDS`` to open the measured window after the
 initial ramp.
 
+``swap-bench`` replays a committed long-tail fleet (aggregate model size far
+beyond cluster GPU memory) under each keep-alive policy — scale-to-zero,
+WARM_IDLE-only, and the swap-aware memory tier — and reports GPU-seconds vs
+effective SLO violations (never-served requests count as violations); see
+:mod:`repro.experiments.swap_bench`.
+
 Any invalid invocation (unknown subcommand, bad ``--nodes``/``--policies``
 value, malformed scenario) exits non-zero with a usage message, and an
 experiment that raises exits 1 — CI cannot silently pass on a typo'd run.
@@ -66,6 +73,7 @@ def _cmd_list() -> int:
     print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
     print("prewarm-bench  Reactive-vs-predictive autoscaling replay (writes BENCH_prewarm.json).")
+    print("swap-bench Long-tail keep-alive vs memory-tier replay (writes BENCH_swap.json).")
     return 0
 
 
@@ -262,6 +270,52 @@ def _cmd_cluster_like(args: argparse.Namespace, parser: argparse.ArgumentParser)
         return 1
 
 
+def _cmd_swap_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import swap_bench
+    from repro.gpu.specs import GPU_CATALOG
+
+    if args.nodes is None:
+        nodes = None  # module defaults (quick vs full shapes)
+    else:
+        nodes = [n.upper() for n in _split_csv(args.nodes)]
+        if not nodes:
+            parser.error("--nodes needs at least one GPU type")
+        for name in nodes:
+            if name not in GPU_CATALOG:
+                parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
+    policies = None if args.policies is None else _split_csv(args.policies)
+    if policies is not None:
+        if not policies:
+            parser.error("--policies needs at least one policy")
+        for policy in policies:
+            if policy not in swap_bench.SWAP_POLICIES:
+                parser.error(
+                    f"unknown policy {policy!r}; known: {swap_bench.SWAP_POLICIES}"
+                )
+        if len(set(policies)) != len(policies):
+            parser.error(f"--policies lists a policy twice: {','.join(policies)}")
+    try:
+        result = swap_bench.run(
+            quick=args.quick,
+            seed=args.seed,
+            nodes=nodes,
+            policies=policies,
+            jobs=args.jobs,
+        )
+        print(swap_bench.format_result(result))
+        swap_bench.write_swap_report(args.output, result)
+        print(f"[report written to {args.output}]")
+        return 0
+    except BrokenPipeError:  # e.g. `python -m repro swap-bench | head`
+        return 0
+    except Exception as exc:  # bench blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: swap-bench: {exc}", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -400,11 +454,43 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--warmup",
             type=float,
-            default=0.0,
+            default=None,
             metavar="SECONDS",
             help="exclude the first SECONDS of the replay from every metric "
-            "(steady-state window; default 0 measures from t=0)",
+            "(steady-state window; default: the bench's measurement warm-up)",
         )
+
+    p_swap = sub.add_parser(
+        "swap-bench", help="long-tail keep-alive vs memory-tier replay"
+    )
+    p_swap.add_argument("--quick", action="store_true")
+    p_swap.add_argument("--seed", type=int, default=42)
+    p_swap.add_argument(
+        "--nodes",
+        default=None,
+        metavar="GPUS",
+        help="comma-separated per-node GPU types (default: the bench's shape)",
+    )
+    p_swap.add_argument(
+        "--policies",
+        default=None,
+        metavar="POLICIES",
+        help="comma-separated keep-alive policies to replay (default: all)",
+    )
+    p_swap.add_argument(
+        "--output",
+        default="BENCH_swap.json",
+        metavar="PATH",
+        help="where to write the JSON report",
+    )
+    p_swap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-policy replays "
+        "(default: 1 = serial; bit-identical to serial)",
+    )
     return parser
 
 
@@ -423,6 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args, parser)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "swap-bench":
+        return _cmd_swap_bench(args, parser)
     return _cmd_cluster_like(args, parser)
 
 

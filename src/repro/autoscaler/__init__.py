@@ -39,9 +39,21 @@ from repro.autoscaler.policy import (
     PreWarmPolicy,
     RetireAction,
 )
+from repro.autoscaler.registry import (
+    CORE_POLICIES,
+    PolicyRegistration,
+    available_policies,
+    register_forecaster,
+    unregister_forecaster,
+)
 
 __all__ = [
     "AUTOSCALE_POLICIES",
+    "CORE_POLICIES",
+    "PolicyRegistration",
+    "available_policies",
+    "register_forecaster",
+    "unregister_forecaster",
     "AutoscaleEvent",
     "CompositeForecaster",
     "FORECASTER_KINDS",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.autoscaler.forecast import Forecaster, OracleForecaster, make_forecaster
+from repro.autoscaler.forecast import Forecaster, OracleForecaster
 from repro.autoscaler.policy import (
     FunctionView,
     PreWarmAction,
@@ -40,10 +40,14 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from repro.scheduler.scheduler import FaSTScheduler
     from repro.sim.engine import Engine
 
-#: Autoscaling policies :func:`build_autoscaler` understands.  ``reactive``
+#: The built-in autoscaling policies (kept for docs/back-compat; the live
+#: set is :func:`repro.autoscaler.registry.available_policies`, which also
+#: covers everything registered via ``register_forecaster``).  ``reactive``
 #: is the no-forecast degenerate (paper Algorithm 1 alone); ``oracle``
 #: requires explicit per-function forecasters built from the replayed trace.
-AUTOSCALE_POLICIES = ("reactive", "ewma", "seasonal", "histogram", "hybrid", "oracle")
+AUTOSCALE_POLICIES = (
+    "reactive", "ewma", "seasonal", "histogram", "hybrid", "warmidle", "memtier", "oracle",
+)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -76,6 +80,10 @@ class PredictiveAutoscaler:
         self.nofit_backoff_s = nofit_backoff_s
         self._nofit_until: dict[str, float] = {}
         self.scheduler: "FaSTScheduler | None" = None
+        #: memory tier: the replica-lifecycle API (None when disabled).
+        #: Policies drive it through action ``apply`` hooks (demote /
+        #: promote / evict) — see :mod:`repro.memtier.policy`.
+        self.lifecycle = None
         self.events: list[AutoscaleEvent] = []
         self.prewarms = 0
         self.retirements = 0
@@ -126,6 +134,15 @@ class PredictiveAutoscaler:
                 self._apply_prewarm(action)
             elif isinstance(action, RetireAction):
                 self._apply_retire(action)
+            else:
+                # Extension point: policies may emit actions that know how
+                # to apply themselves (the memory tier's demote/promote/
+                # evict go through here without this module knowing them).
+                action.apply(self)
+
+    def note_event(self, action: str, function: str, reason: str) -> None:
+        """Record an applied decision (extension-action bookkeeping hook)."""
+        self.events.append(AutoscaleEvent(self.engine.now, function, action, reason))
 
     # -- observation & snapshot -----------------------------------------------------
     def _ingest(self, now: float) -> None:
@@ -148,6 +165,12 @@ class PredictiveAutoscaler:
         )
         forecaster = self.forecasters.get(name)
         warm_ids = tuple(sorted(r.pod.pod_id for r in controller.warm_replicas()))
+        parked_ids: tuple[str, ...] = ()
+        swap_in_s = weight_mb = None
+        if self.lifecycle is not None:
+            parked_ids = tuple(self.lifecycle.parked(name))
+            swap_in_s = self.lifecycle.swap_in_estimate_s(name)
+            weight_mb = self.lifecycle.weights_mb(name)
         return FunctionView(
             function=name,
             serving=controller.serving_count,
@@ -165,6 +188,10 @@ class PredictiveAutoscaler:
             idle_deadline=forecaster.idle_deadline(now) if forecaster else None,
             active_rate=forecaster.active_rate() if forecaster else None,
             last_arrival=self.gateway.last_arrival.get(name),
+            parked=len(parked_ids),
+            parked_pod_ids=parked_ids,
+            swap_in_s=swap_in_s,
+            weight_mb=weight_mb,
         )
 
     # -- applying actions ------------------------------------------------------------
@@ -250,13 +277,14 @@ def build_autoscaler(
 
     ``reactive`` builds the degenerate pass-through controller.  ``oracle``
     needs explicit per-function ``forecasters`` (built from the replayed
-    trace, e.g. :class:`~repro.autoscaler.forecast.OracleForecaster`).  The
-    other kinds synthesize one forecaster per registered function via
-    :func:`~repro.autoscaler.forecast.make_forecaster`; ``prewarm``
-    overrides the default :class:`PreWarmPolicy`.
+    trace, e.g. :class:`~repro.autoscaler.forecast.OracleForecaster`).
+    Every other name resolves through the public policy registry
+    (:func:`repro.autoscaler.registry.register_forecaster`): one forecaster
+    per registered function via the registered factory, paired with the
+    registered pre-warm policy.  ``prewarm`` overrides that policy.
     """
-    if policy not in AUTOSCALE_POLICIES:
-        raise ValueError(f"unknown autoscale policy {policy!r}; known: {AUTOSCALE_POLICIES}")
+    from repro.autoscaler.registry import get_registration
+
     if policy == "reactive":
         return PredictiveAutoscaler(engine, gateway, controllers)
     if policy == "oracle":
@@ -265,16 +293,24 @@ def build_autoscaler(
         missing = [f for f in forecasters.values() if not isinstance(f, Forecaster)]
         if missing:
             raise ValueError(f"non-forecaster entries: {missing}")
-        built = dict(forecasters)
+        built: dict[str, Forecaster] = dict(forecasters)
+        prewarm_policy = prewarm or PreWarmPolicy()
     else:
+        registration = get_registration(policy)  # raises ValueError when unknown
         built = {
-            name: make_forecaster(policy, bin_s=bin_s, period_s=period_s)
+            name: registration.forecaster_factory(bin_s=bin_s, period_s=period_s)
             for name in controllers
         }
         if forecasters:
             built.update(forecasters)
+        if prewarm is not None:
+            prewarm_policy = prewarm
+        elif registration.policy_factory is not None:
+            prewarm_policy = registration.policy_factory()
+        else:
+            prewarm_policy = PreWarmPolicy()
     return PredictiveAutoscaler(
-        engine, gateway, controllers, policy=prewarm or PreWarmPolicy(), forecasters=built
+        engine, gateway, controllers, policy=prewarm_policy, forecasters=built
     )
 
 

@@ -67,6 +67,12 @@ class FunctionView:
     idle_deadline: float | None
     active_rate: float | None
     last_arrival: float | None
+    #: memory tier (defaults = tier disabled): HOST_RESIDENT pod count/ids,
+    #: the current swap-in estimate, and the per-pod parked weight size.
+    parked: int = 0
+    parked_pod_ids: tuple[str, ...] = ()
+    swap_in_s: float | None = None
+    weight_mb: float | None = None
 
 
 @dataclasses.dataclass(slots=True)

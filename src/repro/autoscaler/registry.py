@@ -1,0 +1,130 @@
+"""Public registry of autoscaling policies and forecaster factories.
+
+Third-party (and built-in) predictive policies plug in here instead of
+editing a hard-coded tuple::
+
+    from repro.autoscaler import register_forecaster
+
+    register_forecaster(
+        "mypolicy",
+        lambda bin_s=1.0, period_s=None: MyForecaster(bin_s=bin_s),
+        policy_factory=lambda: MyPreWarmPolicy(),
+    )
+
+A registered name becomes valid everywhere a policy is named: the CLI,
+:class:`~repro.scenario.Scenario` autoscaler specs, and Sweep axes all
+validate against :func:`available_policies` at validation time, and
+:func:`~repro.autoscaler.controller.build_autoscaler` builds one forecaster
+per function via the registered factory (paired with the registered
+pre-warm policy, unless the caller overrides it).
+
+``reactive`` and ``oracle`` are core modes, not registrations: the first is
+the degenerate no-forecast controller, the second requires explicit
+trace-built forecasters.
+"""
+
+from __future__ import annotations
+
+import functools
+import typing as _t
+
+from repro.autoscaler.forecast import FORECASTER_KINDS, Forecaster, make_forecaster
+from repro.autoscaler.policy import PreWarmPolicy
+
+#: Policy names handled by :func:`build_autoscaler` itself (not registered).
+CORE_POLICIES = ("reactive", "oracle")
+
+ForecasterFactory = _t.Callable[..., Forecaster]
+PolicyFactory = _t.Callable[[], PreWarmPolicy]
+
+
+class PolicyRegistration(_t.NamedTuple):
+    """One registered predictive policy: how to build its forecasters and
+    (optionally) the pre-warm policy paired with them."""
+
+    name: str
+    forecaster_factory: ForecasterFactory
+    policy_factory: PolicyFactory | None
+
+
+_REGISTRY: dict[str, PolicyRegistration] = {}
+
+
+def register_forecaster(
+    name: str,
+    factory: ForecasterFactory,
+    *,
+    policy_factory: PolicyFactory | None = None,
+    replace: bool = False,
+) -> PolicyRegistration:
+    """Register a predictive policy under ``name``.
+
+    ``factory`` is called as ``factory(bin_s=..., period_s=...)`` once per
+    function to build its forecaster.  ``policy_factory`` (optional) builds
+    the :class:`~repro.autoscaler.policy.PreWarmPolicy` the controller runs
+    with; omitted, the default policy is used.  ``replace=True`` allows
+    overriding an existing registration (tests, experiments).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"policy name must be a non-empty string, got {name!r}")
+    if name in CORE_POLICIES:
+        raise ValueError(f"{name!r} is a core policy and cannot be re-registered")
+    if not callable(factory):
+        raise TypeError(f"forecaster factory for {name!r} is not callable: {factory!r}")
+    if policy_factory is not None and not callable(policy_factory):
+        raise TypeError(f"policy factory for {name!r} is not callable: {policy_factory!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"policy {name!r} already registered (pass replace=True)")
+    registration = PolicyRegistration(name, factory, policy_factory)
+    _REGISTRY[name] = registration
+    return registration
+
+
+def unregister_forecaster(name: str) -> None:
+    """Remove a registration (primarily for test cleanup)."""
+    if name in CORE_POLICIES:
+        raise ValueError(f"{name!r} is a core policy")
+    _REGISTRY.pop(name, None)
+
+
+def available_policies() -> tuple[str, ...]:
+    """Every policy name :func:`build_autoscaler` currently accepts."""
+    return CORE_POLICIES + tuple(sorted(_REGISTRY))
+
+
+def get_registration(name: str) -> PolicyRegistration:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown autoscale policy {name!r}; known: {available_policies()}"
+        ) from None
+
+
+# -- built-in registrations ----------------------------------------------------------
+def _hybrid_forecaster(bin_s: float = 1.0, period_s: float | None = None) -> Forecaster:
+    return make_forecaster("hybrid", bin_s=bin_s, period_s=period_s)
+
+
+def _memtier_policy() -> PreWarmPolicy:
+    # Imported lazily: repro.memtier.policy imports this package.
+    from repro.memtier.policy import MemTierPolicy
+
+    return MemTierPolicy()
+
+
+def _register_builtins() -> None:
+    for kind in FORECASTER_KINDS:
+        register_forecaster(kind, functools.partial(make_forecaster, kind))
+    # WARM_IDLE-only keep-alive: never scales to zero (the memtier
+    # benchmark's GPU-hungry baseline).
+    register_forecaster(
+        "warmidle",
+        _hybrid_forecaster,
+        policy_factory=lambda: PreWarmPolicy(scale_to_zero=False),
+    )
+    # Swap-aware keep-alive over the host↔GPU memory tier.
+    register_forecaster("memtier", _hybrid_forecaster, policy_factory=_memtier_policy)
+
+
+_register_builtins()

@@ -37,7 +37,12 @@ import json
 import typing as _t
 
 from repro.faas.traces import TraceSet, load_trace_file, synthesize_trace_set
-from repro.experiments.fig14_cluster import CLUSTER_FLEET, QUICK_NODES
+from repro.experiments.fig14_cluster import (
+    CLUSTER_FLEET,
+    DEFAULT_WARMUP_S,
+    QUICK_NODES,
+    QUICK_WARMUP_S,
+)
 from repro.scenario import (
     AutoscalerSpec,
     ClusterSpec,
@@ -237,7 +242,7 @@ def run(
     fleet: _t.Sequence[tuple[str, str, str, float]] | None = None,
     trace_file: str | None = None,
     jobs: int = 1,
-    warmup_s: float = 0.0,
+    warmup_s: float | None = None,
 ) -> PrewarmResult:
     """Replay the cold/bursty trace set under each autoscaling mode.
 
@@ -245,8 +250,13 @@ def run(
     :func:`repro.faas.traces.load_trace_file`) instead of synthesizing one.
     ``jobs`` fans the per-mode cells across the experiment process pool
     (bit-identical to serial); ``warmup_s`` opens the measured window after
-    the initial ramp (default 0 preserves the pinned historical metrics).
+    the initial ramp — ``None`` (the default) honours the measurement
+    warm-up (quick/full defaults from :mod:`repro.experiments.fig14_cluster`)
+    so steady-state metrics exclude the cold ramp; pass ``0.0`` to measure
+    from ``t=0``.
     """
+    if warmup_s is None:
+        warmup_s = QUICK_WARMUP_S if quick else DEFAULT_WARMUP_S
     if nodes is None:
         nodes = QUICK_NODES if quick else PREWARM_NODES
     if policies is None:

@@ -1,0 +1,462 @@
+"""Swap-bench — the memory-tier headline: swap-aware keep-alive vs both
+scale-to-zero and WARM_IDLE-only keep-alive on a long-tail fleet.
+
+The fleet is the serverless long tail in three deliberate tiers:
+
+* **head** — a couple of steady services: the always-on serving baseline;
+* **periodic tail** — functions whose clumped arrivals return every minute
+  or two (``cold`` trace shape): the swap-in traffic — each quiet gap is
+  long enough to park the model, each return is a chance to hide the
+  reload behind the fabric;
+* **rare tail** — many one-shot functions, each firing a single clump at a
+  staggered, deterministic offset: the *capacity pressure*.  Their
+  aggregate model size far exceeds cluster GPU memory, so any policy that
+  keeps every past visitor GPU-resident crowds the newcomers out.
+
+Three autoscaling policies replay the same arrivals:
+
+* ``hybrid``   — scale-to-zero keep-alive: idle functions retire down to a
+  WARM_IDLE readiness reserve; reactivation beyond it pays a **full cold
+  start** (seconds of model load);
+* ``warmidle`` — WARM_IDLE-only (``scale_to_zero=False``): reserves never
+  retire, so every function that ever ran holds a GPU rectangle and GPU
+  memory **forever** — late arrivals in the rare tail find the cluster
+  full and queue indefinitely;
+* ``memtier``  — the swap-aware policy: idle reserves demote to
+  ``HOST_RESIDENT`` (zero GPU footprint), reactivation is a **fabric
+  swap-in** (milliseconds, contention-dependent) — the GPU-resident /
+  host-resident / cold decision triangle.
+
+Violations are counted honestly: a request that is *never served* (its
+function could not be placed before the horizon ended) is an SLO violation
+by definition — ``effective_violation_ratio`` is (violated + never-served)
+over submitted.  The raw completed-only ratio is also reported; comparing
+on it alone would reward policies for dropping work.
+
+The acceptance bar is strict domination: ``memtier`` must spend *fewer
+GPU-seconds than both* baselines at an *equal-or-better effective
+SLO-violation rate*.  ``python -m repro swap-bench [--quick]`` runs the
+comparison and writes ``BENCH_swap.json``; the committed long-tail
+scenario lives at ``examples/scenarios/longtail_swap.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
+from repro.sweep import CellResult, Sweep, SweepAxis, run_sweep
+
+#: Autoscaling policies compared (registry names; ``hybrid`` = scale-to-zero).
+SWAP_POLICIES = ("hybrid", "warmidle", "memtier")
+
+#: Default cluster: homogeneous V100 nodes (16 GB GPU memory each).
+SWAP_NODES: tuple[str, ...] = ("V100",) * 6
+QUICK_SWAP_NODES: tuple[str, ...] = ("V100", "V100")
+
+#: Host RAM budget per node (MB) for HOST_RESIDENT pods, and fabric GB/s.
+HOST_MEMORY_MB = 131072.0
+FABRIC_GBPS = 16.0
+
+#: Long-tail model mix, biased toward mid/large weights so the aggregate
+#: fleet footprint dwarfs GPU memory (pod ≈ framework + weights + activations).
+_TAIL_MODELS = ("bert", "gnmt", "rnnt", "resnet152", "resnext_xlarge", "resnet50")
+#: Tail per-function mean RPS cycle: almost-always-idle, clumped arrivals.
+_TAIL_RPS = (0.06, 0.10, 0.15, 0.08, 0.12, 0.20)
+#: Head functions: steady low-rate traffic that keeps a serving baseline up.
+_HEAD: tuple[tuple[str, str, str, float], ...] = (
+    ("head-resnet", "resnet50", "steady", 2.0),
+    ("head-bert", "bert", "steady", 1.0),
+)
+#: The ``cold`` trace shape fires this fraction of bins; rare-tier one-shot
+#: clumps reuse it to size their single burst to the same per-clump rate.
+_COLD_ACTIVE_FRACTION = 0.12
+
+#: Fleet row: (name, model, tier, mean_rps) with tier ∈ steady|periodic|rare.
+FleetRow = tuple[str, str, str, float]
+
+
+def longtail_fleet(
+    periodic: int, rare: int, heads: int = len(_HEAD)
+) -> tuple[FleetRow, ...]:
+    """The tiered fleet as (name, model, tier, mean_rps) rows.
+
+    ``heads`` steady services lead; ``periodic`` returning-clump functions
+    and ``rare`` one-shot functions follow, cycling deterministically
+    through the model/rate mixes.
+    """
+    if not 0 < heads <= len(_HEAD):
+        raise ValueError(f"heads must be in 1..{len(_HEAD)}, got {heads}")
+    if periodic < 1 or rare < 1:
+        raise ValueError("fleet needs at least one periodic and one rare function")
+    rows: list[FleetRow] = list(_HEAD[:heads])
+    for i in range(periodic):
+        rows.append(
+            (f"tail-{i:03d}", _TAIL_MODELS[i % 6], "periodic", _TAIL_RPS[i % 6])
+        )
+    for i in range(rare):
+        rows.append(
+            (f"rare-{i:03d}", _TAIL_MODELS[(i + 3) % 6], "rare", _TAIL_RPS[i % 6])
+        )
+    return tuple(rows)
+
+
+def _rare_counts(
+    index: int, rare_total: int, bins: int, bin_s: float, rate: float
+) -> tuple[int, ...]:
+    """One deterministic single-clump trace for rare function ``index``.
+
+    Clumps stagger across the horizon (one bin each, round-robin offset) so
+    the rare tier arrives as a steady trickle of first-time visitors rather
+    than a thundering herd — the regime where keep-alive reserves from past
+    visitors crowd newcomers out.
+    """
+    counts = [0] * bins
+    stride = max(1, (bins - 4) // max(rare_total, 1))
+    b = (3 + index * stride) % (bins - 1)
+    counts[b] = max(2, int(rate / _COLD_ACTIVE_FRACTION * bin_s))
+    return tuple(counts)
+
+
+def base_scenario(
+    fleet: _t.Sequence[FleetRow],
+    nodes: _t.Sequence[str],
+    seed: int,
+    bins: int,
+    bin_s: float,
+    interval: float,
+    host_memory_mb: float = HOST_MEMORY_MB,
+    fabric_gbps: float = FABRIC_GBPS,
+) -> Scenario:
+    """The long-tail base Scenario (``memtier`` policy; the sweep swaps it).
+
+    Every cell replays identical arrivals: head/periodic workloads are
+    scenario-seeded synthetic traces, the rare tier's one-shot clumps are
+    deterministic ``counts``.  ``host_memory_mb`` is present in *all* cells
+    so the only difference between policies is the decision logic, not the
+    platform build.  Tail functions start undeployed (``initial_replicas=0``):
+    their first clump pays the cold start under every policy; what the
+    policies differ on is every activation after that — and whether the
+    reserves they hold for it crowd out the rare tier's first clumps.
+    """
+    rare_total = sum(1 for _, _, tier, _ in fleet if tier == "rare")
+    rare_index = 0
+    functions = []
+    for name, model, tier, rps in fleet:
+        if tier == "steady":
+            workload = WorkloadSpec(
+                kind="synthetic", shape="steady", mean_rps=rps, bins=bins, bin_s=bin_s
+            )
+        elif tier == "periodic":
+            workload = WorkloadSpec(
+                kind="synthetic", shape="cold", mean_rps=rps, bins=bins, bin_s=bin_s
+            )
+        elif tier == "rare":
+            workload = WorkloadSpec(
+                kind="counts",
+                counts=_rare_counts(rare_index, rare_total, bins, bin_s, rps),
+                bin_s=bin_s,
+                shape="cold",
+            )
+            rare_index += 1
+        else:
+            raise ValueError(f"unknown fleet tier {tier!r} for function {name!r}")
+        functions.append(
+            ScenarioFunction(
+                name=name,
+                model=model,
+                model_sharing=False,
+                initial_replicas=1 if tier == "steady" else 0,
+                workload=workload,
+            )
+        )
+    return Scenario(
+        name="longtail-swap",
+        seed=seed,
+        description=(
+            "Long-tail fleet whose aggregate model size exceeds cluster GPU "
+            "memory: the memory-tier (host-resident swap) headline scenario."
+        ),
+        cluster=ClusterSpec(
+            nodes=tuple(nodes),
+            host_memory_mb=host_memory_mb,
+            fabric_gbps=fabric_gbps,
+        ),
+        functions=tuple(functions),
+        autoscaler=AutoscalerSpec(policy="memtier", interval=interval),
+        measurement=MeasurementSpec(drain_s=2.0),
+    )
+
+
+def sweep_for_policies(base: Scenario, policies: _t.Sequence[str]) -> Sweep:
+    """One autoscaler axis over the shared long-tail base scenario."""
+    return Sweep(
+        name="swap-keepalive",
+        base=base,
+        axes=(SweepAxis(axis="autoscaler", values=tuple(policies)),),
+        description=(
+            "Swap-aware keep-alive vs scale-to-zero and WARM_IDLE-only on "
+            "the long-tail fleet"
+        ),
+    )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SwapOutcome:
+    """Replay metrics of one keep-alive policy over the shared trace set."""
+
+    policy: str
+    submitted: int
+    completed: int
+    slo_violation_ratio: float
+    effective_violation_ratio: float
+    p95_ms: float
+    gpu_seconds: float
+    mean_gpus: float
+    peak_gpus: int
+    cold_hit_requests: int
+    cold_wait_ms_mean: float
+    swap_hit_requests: int
+    swap_wait_ms_mean: float
+    swap_promotions: int
+    demotions: int
+    host_evictions: int
+    scale_ups: int
+    scale_downs: int
+    nofit_events: int
+    prewarms: int
+
+    @property
+    def unserved_requests(self) -> int:
+        return self.submitted - self.completed
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SwapResult:
+    """All policies' outcomes plus the fleet/cluster metadata."""
+
+    nodes: tuple[str, ...]
+    fleet: tuple[FleetRow, ...]
+    seed: int
+    bins: int
+    bin_s: float
+    host_memory_mb: float
+    fabric_gbps: float
+    outcomes: tuple[SwapOutcome, ...]
+
+    def outcome(self, policy: str) -> SwapOutcome:
+        for out in self.outcomes:
+            if out.policy == policy:
+                return out
+        raise KeyError(f"no outcome for policy {policy!r}")
+
+    @property
+    def dominates(self) -> bool:
+        """memtier strictly cheaper in GPU-seconds than *both* baselines at
+        an equal-or-better effective SLO-violation rate — the acceptance
+        bar.  Effective counts never-served requests as violations, so a
+        baseline cannot win by leaving the rare tail unserved."""
+        mem = self.outcome("memtier")
+        others = [self.outcome(p) for p in ("hybrid", "warmidle")]
+        return all(
+            mem.gpu_seconds < other.gpu_seconds
+            and mem.effective_violation_ratio <= other.effective_violation_ratio
+            for other in others
+        )
+
+    def gpu_seconds_saving(self, baseline: str) -> float:
+        """1 − memtier ÷ baseline GPU-seconds (positive = memtier cheaper)."""
+        base = self.outcome(baseline).gpu_seconds
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.outcome("memtier").gpu_seconds / base
+
+
+def _outcome_from_cell(cell: CellResult) -> SwapOutcome:
+    metrics = cell.metrics
+    submitted = metrics["submitted"]
+    completed = metrics["completed"]
+    violated = metrics["slo_violation_ratio"] * completed
+    effective = (
+        (violated + (submitted - completed)) / submitted if submitted else 0.0
+    )
+    return SwapOutcome(
+        policy=dict(cell.coords)["autoscaler"],
+        submitted=submitted,
+        completed=completed,
+        slo_violation_ratio=metrics["slo_violation_ratio"],
+        effective_violation_ratio=effective,
+        p95_ms=metrics["p95_ms"],
+        gpu_seconds=metrics["gpu_seconds"],
+        mean_gpus=metrics["mean_gpus"],
+        peak_gpus=metrics["peak_gpus"],
+        cold_hit_requests=metrics["cold_hit_requests"],
+        cold_wait_ms_mean=metrics["cold_wait_ms_mean"],
+        swap_hit_requests=metrics.get("swap_hit_requests", 0),
+        swap_wait_ms_mean=metrics.get("swap_wait_ms_mean", 0.0),
+        swap_promotions=metrics.get("swap_promotions", 0),
+        demotions=metrics.get("demotions", 0),
+        host_evictions=metrics.get("host_evictions", 0),
+        scale_ups=metrics["scale_ups"],
+        scale_downs=metrics["scale_downs"],
+        nofit_events=metrics["nofit_events"],
+        prewarms=metrics["prewarms"],
+    )
+
+
+def run(
+    quick: bool = False,
+    seed: int = 42,
+    nodes: _t.Sequence[str] | None = None,
+    policies: _t.Sequence[str] | None = None,
+    periodic: int | None = None,
+    rare: int | None = None,
+    bins: int | None = None,
+    bin_s: float | None = None,
+    jobs: int = 1,
+) -> SwapResult:
+    """Replay the long-tail fleet under each keep-alive policy.
+
+    ``quick`` shrinks the fleet/horizon for CI smoke (the workload is baked
+    into the scenario rather than using ``Scenario.quick()``, because the
+    tail needs enough horizon for demoted functions to *come back* — that
+    return trip is the entire point of the comparison).
+    """
+    if nodes is None:
+        nodes = QUICK_SWAP_NODES if quick else SWAP_NODES
+    if policies is None:
+        policies = SWAP_POLICIES
+    for policy in policies:
+        if policy not in SWAP_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {SWAP_POLICIES}")
+    if periodic is None:
+        periodic = 4 if quick else 10
+    if rare is None:
+        rare = 12 if quick else 200
+    if bins is None:
+        bins = 18 if quick else 72
+    if bin_s is None:
+        bin_s = 10.0
+    interval = 1.0
+
+    fleet = longtail_fleet(periodic, rare, heads=1 if quick else 2)
+    base = base_scenario(fleet, nodes, seed, bins, bin_s, interval)
+    sweep = sweep_for_policies(base, policies)
+    sweep_report = run_sweep(sweep, jobs=jobs)
+    return SwapResult(
+        nodes=tuple(nodes),
+        fleet=fleet,
+        seed=seed,
+        bins=bins,
+        bin_s=bin_s,
+        host_memory_mb=base.cluster.host_memory_mb or 0.0,
+        fabric_gbps=base.cluster.fabric_gbps,
+        outcomes=tuple(_outcome_from_cell(cell) for cell in sweep_report.cells),
+    )
+
+
+def format_result(result: SwapResult) -> str:
+    from repro.models import MODEL_ZOO
+
+    total_weights = sum(MODEL_ZOO[m].memory.weights_mb for _, m, _, _ in result.fleet)
+    lines = [
+        "Swap-bench — swap-aware keep-alive vs scale-to-zero and WARM_IDLE-only",
+        f"  nodes: {', '.join(result.nodes)}   fleet: {len(result.fleet)} functions "
+        f"({total_weights / 1024.0:.1f} GB aggregate weights), "
+        f"trace {result.bins}x{result.bin_s:.0f}s bins, seed {result.seed}",
+        f"  host RAM {result.host_memory_mb / 1024.0:.0f} GB/node, "
+        f"fabric {result.fabric_gbps:.0f} GB/s   "
+        "(eff-viol counts never-served requests as violations)",
+        "  policy     eff-viol%  raw-viol%  served%    GPU-s  cold-hits  "
+        "swap-hits  swap-wait(ms)  demote/swapin/evict",
+    ]
+    for out in result.outcomes:
+        served = out.completed / out.submitted if out.submitted else 0.0
+        lines.append(
+            f"  {out.policy:<10} {100 * out.effective_violation_ratio:8.2f} "
+            f"{100 * out.slo_violation_ratio:10.2f} {100 * served:8.1f} "
+            f"{out.gpu_seconds:8.0f} {out.cold_hit_requests:10d} "
+            f"{out.swap_hit_requests:10d} {out.swap_wait_ms_mean:13.1f}  "
+            f"{out.demotions}/{out.swap_promotions}/{out.host_evictions}"
+        )
+    try:
+        lines.append(
+            f"  memtier GPU-s saving: {100 * result.gpu_seconds_saving('hybrid'):+.1f}% "
+            f"vs scale-to-zero, {100 * result.gpu_seconds_saving('warmidle'):+.1f}% "
+            "vs WARM_IDLE-only"
+        )
+        lines.append(
+            f"  strict domination (cheaper GPU-s, <= eff-violations vs both): "
+            f"{'YES' if result.dominates else 'NO'}"
+        )
+    except KeyError:
+        pass  # a policy subset without all three
+    return "\n".join(lines)
+
+
+def report_payload(result: SwapResult) -> dict:
+    """The ``BENCH_swap.json`` payload for one run."""
+    payload: dict[str, _t.Any] = {
+        "benchmark": "swap",
+        "nodes": list(result.nodes),
+        "fleet_size": len(result.fleet),
+        "fleet_tiers": {
+            tier: sum(1 for _, _, t, _ in result.fleet if t == tier)
+            for tier in ("steady", "periodic", "rare")
+        },
+        "trace": {"seed": result.seed, "bins": result.bins, "bin_s": result.bin_s},
+        "host_memory_mb": result.host_memory_mb,
+        "fabric_gbps": result.fabric_gbps,
+        "policies": {
+            out.policy: {
+                "slo_violation_ratio": out.slo_violation_ratio,
+                "effective_violation_ratio": out.effective_violation_ratio,
+                "p95_ms": out.p95_ms,
+                "gpu_seconds": out.gpu_seconds,
+                "mean_gpus": out.mean_gpus,
+                "peak_gpus": out.peak_gpus,
+                "cold_hit_requests": out.cold_hit_requests,
+                "cold_wait_ms_mean": out.cold_wait_ms_mean,
+                "swap_hit_requests": out.swap_hit_requests,
+                "swap_wait_ms_mean": out.swap_wait_ms_mean,
+                "swap_promotions": out.swap_promotions,
+                "demotions": out.demotions,
+                "host_evictions": out.host_evictions,
+                "submitted": out.submitted,
+                "completed": out.completed,
+                "unserved_requests": out.unserved_requests,
+                "scale_ups": out.scale_ups,
+                "scale_downs": out.scale_downs,
+                "nofit_events": out.nofit_events,
+                "prewarms": out.prewarms,
+            }
+            for out in result.outcomes
+        },
+    }
+    try:
+        payload["headline"] = {
+            "dominates": result.dominates,
+            "gpu_seconds_saving_vs_scale_to_zero": result.gpu_seconds_saving("hybrid"),
+            "gpu_seconds_saving_vs_warmidle": result.gpu_seconds_saving("warmidle"),
+        }
+    except KeyError:
+        pass
+    return payload
+
+
+def write_swap_report(path: str, result: SwapResult) -> dict:
+    """Serialize :func:`report_payload` to ``path``; returns the payload."""
+    payload = report_payload(result)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

@@ -20,6 +20,10 @@ class FunctionSpec:
     model: ModelProfile
     slo_ms: float
     use_model_sharing: bool = False
+    #: Override of the model's weight size (MB) for the memory tier — the
+    #: bytes that park in host RAM and transit the fabric on swap-in.
+    #: ``None`` uses the model profile's ``weights_mb``.
+    weight_mb: float | None = None
 
     @classmethod
     def from_model(
@@ -28,6 +32,7 @@ class FunctionSpec:
         model_name: str,
         slo_ms: float | None = None,
         use_model_sharing: bool = False,
+        weight_mb: float | None = None,
     ) -> "FunctionSpec":
         model = get_model(model_name)
         return cls(
@@ -35,12 +40,21 @@ class FunctionSpec:
             model=model,
             slo_ms=slo_ms if slo_ms is not None else model.slo_ms,
             use_model_sharing=use_model_sharing,
+            weight_mb=weight_mb,
         )
 
     def pod_gpu_mem_mb(self) -> float:
         """Device memory one pod of this function pins (excl. server share)."""
         memory = self.model.memory
         return memory.shared_pod_mb if self.use_model_sharing else memory.original_mb
+
+    def swap_weights_mb(self) -> float:
+        """Bytes (MB) parked in host RAM / swapped over the fabric per pod.
+
+        Only the parameter tensors move: framework context and activation
+        workspace are (re)allocated on the GPU, not copied.
+        """
+        return self.weight_mb if self.weight_mb is not None else self.model.memory.weights_mb
 
 
 class FunctionRegistry:

@@ -66,6 +66,14 @@ class Gateway:
         #: per-function promotion counts (the scheduler treats a promotion
         #: as a scale-up for cooldown purposes — no immediate drain-back).
         self.promotions_by_function: dict[str, int] = collections.defaultdict(int)
+        #: memory tier: the replica-lifecycle API (None when disabled).
+        #: When set, a request parking with no warm spare triggers promotion
+        #: of a HOST_RESIDENT pod — scale-from-host instead of a cold start.
+        self.lifecycle = None
+        #: demand-driven swap promotions in flight, per function.
+        self._swapping: dict[str, int] = collections.defaultdict(int)
+        self.swap_promotions = 0
+        self.swap_promotions_by_function: dict[str, int] = collections.defaultdict(int)
         self._rr: dict[str, int] = collections.defaultdict(int)
         #: per-function arrival counts in fixed wall-clock bins (RPS signal).
         self._arrival_bins: dict[str, collections.Counter] = collections.defaultdict(collections.Counter)
@@ -78,6 +86,8 @@ class Gateway:
         name = replica.function.name
         if replica.consume_promotion():
             self._promoting[name] = max(0, self._promoting[name] - 1)
+        if replica.consume_swap():
+            self._swapping[name] = max(0, self._swapping[name] - 1)
         if replica not in self._replicas[name]:
             self._replicas[name].append(replica)
         self._drain_pending(name)
@@ -95,6 +105,8 @@ class Gateway:
         if replica.consume_promotion():
             # Promoted but evicted before it ever became ready.
             self._promoting[name] = max(0, self._promoting[name] - 1)
+        if replica.consume_swap():
+            self._swapping[name] = max(0, self._swapping[name] - 1)
 
     def replicas(self, function: str) -> list["FunctionReplica"]:
         return list(self._replicas[function])
@@ -157,10 +169,14 @@ class Gateway:
         candidates = [r for r in self._replicas[request.function] if r.accepting]
         if not candidates:
             # Park: the wait from here until a replica accepts is
-            # cold-start-attributable (no replica was accepting at all).
+            # cold-start-attributable (no replica was accepting at all) —
+            # or swap-attributable while a host promotion is in flight.
             request.parked_at = self.engine.now
+            if self._swapping[request.function] > 0:
+                request.swap_marked = True
             self._pending[request.function].append(request)
             self._promote_warm(request.function)
+            self._promote_parked(request.function)
             return
         # Least-loaded; round-robin among ties for determinism without bias.
         min_load = min(r.load for r in candidates)
@@ -173,12 +189,41 @@ class Gateway:
         if min_load >= self.promote_load_threshold:
             self.claim_warm(request.function)
 
+    def _promote_parked(self, function: str) -> None:
+        """Swap HOST_RESIDENT pods in to absorb parked requests.
+
+        The memory-tier analogue of :meth:`_promote_warm`, one tier down:
+        when parked demand exceeds the promotions already in flight (warm
+        *and* swap), the lifecycle readmits a parked pod whose "cold start"
+        is a fabric swap-in.  Every request parked while the swap is in
+        flight is marked so its wait drains into ``swap_wait``.
+        """
+        if self.lifecycle is None:
+            return
+        pending = self._pending[function]
+        in_flight = self._promoting[function] + self._swapping[function]
+        while (
+            len(pending) > in_flight
+            and self.lifecycle.promote(function, demand=True) is not None
+        ):
+            self._swapping[function] += 1
+            self.swap_promotions += 1
+            self.swap_promotions_by_function[function] += 1
+            in_flight += 1
+            for request in pending:
+                request.swap_marked = True
+
     def _drain_pending(self, function: str) -> None:
         pending = self._pending[function]
         while pending and any(r.accepting for r in self._replicas[function]):
             request = pending.popleft()
             if request.parked_at is not None:
-                request.cold_wait += self.engine.now - request.parked_at
+                waited = self.engine.now - request.parked_at
+                if request.swap_marked:
+                    request.swap_wait += waited
+                    request.swap_marked = False
+                else:
+                    request.cold_wait += waited
                 request.parked_at = None
             self._route(request)
 

@@ -40,6 +40,8 @@ class FunctionReplica:
         gateway: "Gateway",
         rng: "np.random.Generator | None" = None,
         warm_idle: bool = False,
+        swap_in_mb: float | None = None,
+        swap_fabric=None,
     ):
         self.engine = engine
         self.pod = pod
@@ -60,6 +62,18 @@ class FunctionReplica:
         self.promoted_at: float | None = None
         self._promotion_counted = False
         self._promote_event = None
+        #: memory-tier promotion: the "cold start" is a host→GPU weight
+        #: transfer across the node's fabric instead of a full model load.
+        self._swap_in_mb = swap_in_mb
+        self._swap_fabric = swap_fabric
+        #: True once this replica came up via a fabric swap-in (the gateway
+        #: uses it to attribute waits to swap instead of cold start).
+        self.swapped_in = False
+        #: set by the lifecycle on demand-driven promotions (a request was
+        #: already parked); such replicas settle the gateway's in-flight
+        #: swap counter when they become ready (or die trying).
+        self.swap_demand = False
+        self._swap_counted = False
         self._proc = engine.process(self._serve(), name=f"replica:{pod.pod_id}")
 
     # -- queue/load introspection (used by gateway routing) -----------------------
@@ -114,13 +128,25 @@ class FunctionReplica:
             return True
         return False
 
+    def consume_swap(self) -> bool:
+        """True exactly once for a demand-driven swap promotion settling
+        (gateway bookkeeping of in-flight swap-ins)."""
+        if self.swap_demand and not self._swap_counted:
+            self._swap_counted = True
+            return True
+        return False
+
     # -- serve loop -----------------------------------------------------------------
     def _serve(self):
         model = self.function.model
         try:
-            # Cold start: shared GET/STORE via the storage server, or a full
-            # local weight load when model sharing is off.
-            if self.container.store_lib is not None:
+            # Cold start: a fabric swap-in for a pod promoted from
+            # HOST_RESIDENT, shared GET/STORE via the storage server, or a
+            # full local weight load when model sharing is off.
+            if self._swap_fabric is not None and self._swap_in_mb is not None:
+                yield self._swap_fabric.transfer(self._swap_in_mb)
+                self.swapped_in = True
+            elif self.container.store_lib is not None:
                 yield from self.container.store_lib.load_shared(model)
             else:
                 yield self.engine.timeout(model.load_time_s)

@@ -28,6 +28,13 @@ class Request:
     #: was accepting — cold-start-attributable delay, as opposed to ordinary
     #: replica-queue wait behind other requests.
     cold_wait: float = 0.0
+    #: seconds spent parked while a HOST_RESIDENT pod was swapping in for
+    #: this function — memory-tier-attributable delay, split out from
+    #: ``cold_wait`` so swap-ins and full cold starts are distinguishable.
+    swap_wait: float = 0.0
+    #: transient: a swap-in was in flight while this request was parked, so
+    #: its pending wait is credited to ``swap_wait`` on drain.
+    swap_marked: bool = False
     #: transient: when the request was parked in the pending queue (unset
     #: while routed to a replica).
     parked_at: float | None = None
@@ -51,8 +58,8 @@ class Request:
     @property
     def replica_queue_wait(self) -> float:
         """Wait behind other requests on an *accepting* replica — the total
-        queue wait minus the cold-start-attributable pending-queue time."""
-        return max(0.0, self.queue_wait - self.cold_wait)
+        queue wait minus the cold-start- and swap-attributable pending time."""
+        return max(0.0, self.queue_wait - self.cold_wait - self.swap_wait)
 
 
 class RequestLog:
@@ -102,6 +109,14 @@ class RequestLog:
     def cold_hits(self) -> int:
         """Requests that spent any time waiting on a cold start."""
         return sum(1 for r in self.completed if r.cold_wait > 0.0)
+
+    def swap_waits_ms(self) -> np.ndarray:
+        """Per-request swap-in-attributable pending-queue wait (ms)."""
+        return np.array([1000.0 * r.swap_wait for r in self.completed], dtype=float)
+
+    def swap_hits(self) -> int:
+        """Requests that spent any time waiting on a host→GPU swap-in."""
+        return sum(1 for r in self.completed if r.swap_wait > 0.0)
 
     def latency_percentile_ms(self, percentile: float) -> float:
         latencies = self.latencies_ms()

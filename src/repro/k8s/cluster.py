@@ -30,6 +30,8 @@ class Cluster:
         gpu: str | GPUSpec = "V100",
         sharing_mode: str = "fast",
         window: float = 0.1,
+        host_memory_mb: float | None = None,
+        fabric_gbps: float = 16.0,
     ):
         if isinstance(nodes, int):
             if nodes < 1:
@@ -43,7 +45,15 @@ class Cluster:
         self.engine = engine
         self.sharing_mode = sharing_mode
         self.nodes: list[GPUNode] = [
-            GPUNode(engine, f"node{i}", spec, sharing_mode=sharing_mode, window=window)
+            GPUNode(
+                engine,
+                f"node{i}",
+                spec,
+                sharing_mode=sharing_mode,
+                window=window,
+                host_memory_mb=host_memory_mb,
+                fabric_gbps=fabric_gbps,
+            )
             for i, spec in enumerate(specs)
         ]
         self._by_name = {node.name: node for node in self.nodes}

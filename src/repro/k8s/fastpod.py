@@ -41,6 +41,9 @@ class FaSTPodController:
         self.gateway = gateway
         self.function = function
         self.replicas: dict[str, FunctionReplica] = {}
+        #: HOST_RESIDENT pods of this function (memory tier): weights in
+        #: host RAM, no container, no replica — keyed by pod_id, FIFO.
+        self.parked: dict[str, Pod] = {}
         self._serials = itertools.count(1)
 
     # -- scale up -----------------------------------------------------------------
@@ -104,6 +107,78 @@ class FaSTPodController:
 
     def scale_down_all(self, drain: bool = True) -> list["Process"]:
         return [self.scale_down(pod_id, drain=drain) for pod_id in list(self.replicas)]
+
+    # -- memory tier (driven by repro.memtier.ReplicaLifecycle) --------------------
+    def park(self, pod_id: str, weights_mb: float) -> "Process":
+        """Demote a WARM_IDLE replica to HOST_RESIDENT; returns the
+        (joinable) demotion process.
+
+        The replica object is retired immediately (it stops counting as
+        capacity and leaves the gateway's warm pool); the node-side park —
+        container teardown, GPU memory release, host-RAM charge — happens
+        once the replica process has unwound.
+        """
+        replica = self.replicas.pop(pod_id, None)
+        if replica is None:
+            raise KeyError(f"{self.function.name}: no replica {pod_id}")
+        if not replica.warm_idle:
+            self.replicas[pod_id] = replica
+            raise ValueError(f"{self.function.name}: {pod_id} is not WARM_IDLE")
+        self.parked[pod_id] = replica.pod
+
+        def demote():
+            replica.kill()
+            yield self.engine.timeout(0.0)  # let the interrupt unwind
+            node = self.cluster.node(replica.pod.node_name)
+            node.park(replica.pod, weights_mb)
+
+        return self.engine.process(demote(), name=f"park:{pod_id}")
+
+    def restore(
+        self,
+        pod_id: str,
+        swap_in_mb: float,
+        warm: bool = False,
+        cost_s: float = 0.0,
+    ) -> FunctionReplica:
+        """Swap a HOST_RESIDENT pod back in; returns the new replica.
+
+        The replica's "cold start" is a host→GPU transfer of
+        ``swap_in_mb`` across the pod's node fabric.  ``warm=True`` parks
+        it back in WARM_IDLE after the swap (policy-lead promotion);
+        otherwise it goes straight to serving.
+        """
+        pod = self.parked.pop(pod_id, None)
+        if pod is None:
+            raise KeyError(f"{self.function.name}: no parked pod {pod_id}")
+        node = self.cluster.node(pod.node_name)
+        try:
+            container = node.readmit(pod, cost_s=cost_s)
+        except Exception:
+            self.parked[pod_id] = pod
+            raise
+        rng = self.engine.rng.stream(f"replica.{pod.meta.name}")
+        replica = FunctionReplica(
+            self.engine,
+            pod,
+            container,
+            self.function,
+            self.gateway,
+            rng,
+            warm_idle=warm,
+            swap_in_mb=swap_in_mb,
+            swap_fabric=node.fabric,
+        )
+        self.replicas[pod.pod_id] = replica
+        return replica
+
+    def evict_parked(self, pod_id: str) -> None:
+        """Terminate a HOST_RESIDENT pod (host RAM released, pod forgotten)."""
+        pod = self.parked.pop(pod_id, None)
+        if pod is None:
+            raise KeyError(f"{self.function.name}: no parked pod {pod_id}")
+        self.cluster.node(pod.node_name).evict(pod)
+        self.cluster.forget_pod(pod_id)
 
     # -- introspection ------------------------------------------------------------------
     @property

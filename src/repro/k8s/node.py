@@ -19,7 +19,7 @@ import typing as _t
 
 from repro.gpu.device import GPUDevice
 from repro.gpu.driver import CudaDriver
-from repro.gpu.memory import GpuOutOfMemoryError
+from repro.gpu.memory import GpuOutOfMemoryError, MemoryLedger
 from repro.gpu.mps import MPSServer
 from repro.gpu.specs import GPUSpec
 from repro.k8s.objects import Pod, PodPhase
@@ -76,9 +76,12 @@ class GPUNode:
         spec: GPUSpec,
         sharing_mode: str = "fast",
         window: float = 0.1,
+        host_memory_mb: float | None = None,
+        fabric_gbps: float = 16.0,
     ):
         if sharing_mode not in SHARING_MODES:
             raise NodeError(f"unknown sharing mode {sharing_mode!r}; known: {SHARING_MODES}")
+        from repro.memtier.fabric import TransferFabric  # local: avoid import cycle
         from repro.models.scaling import gpu_type_factor  # local: avoid import cycle
 
         self.engine = engine
@@ -96,6 +99,15 @@ class GPUNode:
         self.backend = FaSTBackend(engine, name=f"{name}/fast-backend", window=window)
         self.model_storage = ModelStorageServer(engine, self.driver, name=f"{name}/model-storage")
         self.containers: dict[str, Container] = {}
+        #: Host↔GPU link model (swap-ins contend on it; idle until used).
+        self.fabric = TransferFabric(engine, gbps=fabric_gbps, name=f"{name}/pcie")
+        #: Host-RAM ledger for HOST_RESIDENT pods; ``None`` disables the
+        #: memory tier on this node (nothing can park here).
+        self.host_memory: MemoryLedger | None = (
+            MemoryLedger(host_memory_mb, device_name=f"{name}/host")
+            if host_memory_mb is not None
+            else None
+        )
 
     # -- capacity queries (used by node selection) ------------------------------
     @property
@@ -140,14 +152,73 @@ class GPUNode:
         return container
 
     def evict(self, pod: Pod) -> None:
-        """Terminate a pod's container and release its resources."""
+        """Terminate a pod's container and release its resources.
+
+        Also the exit path for ``HOST_RESIDENT`` pods: a parked pod has no
+        container, so eviction just drops its host-RAM hold.
+        """
         container = self.containers.pop(pod.pod_id, None)
         if container is None:
+            if pod.phase is PodPhase.HOST_RESIDENT:
+                pod.transition(PodPhase.TERMINATING)
+                if self.host_memory is not None:
+                    self.host_memory.release_owner(pod.pod_id)
+                pod.transition(PodPhase.TERMINATED)
+                return
             raise NodeError(f"pod {pod.pod_id} is not on {self.name}")
         if pod.phase in (PodPhase.STARTING, PodPhase.WARM_IDLE, PodPhase.RUNNING):
             pod.transition(PodPhase.TERMINATING)
         container.close()
         pod.transition(PodPhase.TERMINATED)
+
+    # -- memory tier (HOST_RESIDENT parking) -----------------------------------
+    def can_park(self, weights_mb: float) -> bool:
+        """Whether ``weights_mb`` of parked weights fit in host RAM now."""
+        return self.host_memory is not None and self.host_memory.can_allocate(weights_mb)
+
+    def park(self, pod: Pod, weights_mb: float) -> None:
+        """Demote a ``WARM_IDLE`` pod to ``HOST_RESIDENT``.
+
+        Frees *everything* the pod held on the GPU (container, contexts,
+        device memory — via the container teardown) and charges its weights
+        to the host-RAM ledger.  Free by construction: weights are
+        immutable, so the host copy is retained from load time and no
+        device→host copy is needed (the Torpor/FaaSwap rationale).
+        """
+        if self.host_memory is None:
+            raise NodeError(f"{self.name}: no host memory tier configured")
+        container = self.containers.get(pod.pod_id)
+        if container is None:
+            raise NodeError(f"pod {pod.pod_id} is not on {self.name}")
+        self.host_memory.allocate(pod.pod_id, weights_mb)  # raises on host OOM
+        del self.containers[pod.pod_id]
+        pod.transition(PodPhase.HOST_RESIDENT)
+        container.close()
+
+    def readmit(self, pod: Pod, cost_s: float = 0.0) -> Container:
+        """Swap a ``HOST_RESIDENT`` pod back onto the GPU.
+
+        Re-pins the pod's device memory and rebuilds its container; the
+        caller's replica then pays the actual fabric transfer as its cold
+        start.  ``cost_s`` documents the swap-in estimate at promotion
+        time in the pod's transition history.
+        """
+        if pod.pod_id in self.containers:
+            raise NodeError(f"pod {pod.pod_id} already on {self.name}")
+        if pod.phase is not PodPhase.HOST_RESIDENT:
+            raise NodeError(f"pod {pod.pod_id} is not parked (phase {pod.phase})")
+        if not self.fits_memory(pod):
+            raise GpuOutOfMemoryError(
+                self.pod_memory_requirement_mb(pod),
+                self.device.memory.free_mb,
+                self.device.name,
+            )
+        pod.transition(PodPhase.STARTING, cost=cost_s)
+        if self.host_memory is not None:
+            self.host_memory.release_owner(pod.pod_id)
+        container = self._build_container(pod)
+        self.containers[pod.pod_id] = container
+        return container
 
     # -- container wiring ---------------------------------------------------------
     def _build_container(self, pod: Pod) -> Container:

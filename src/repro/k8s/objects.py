@@ -19,20 +19,75 @@ _uid_counter = itertools.count(1)
 
 
 class PodPhase(enum.Enum):
-    """Pod lifecycle phases (Kubernetes semantics + the warm-idle extension).
+    """Pod lifecycle phases (Kubernetes semantics + the memory-tier extensions).
 
     ``WARM_IDLE`` is the pre-warmed parking state the predictive autoscaler
     uses: the container finished its cold start (model resident, memory
     held) but the replica is not serving and consumes **zero time quota**
     until promoted to ``RUNNING``.
+
+    ``HOST_RESIDENT`` sits one tier below ``WARM_IDLE``: the model weights
+    are parked in the node's host RAM while the pod holds **zero GPU
+    memory, zero SM rectangle, and zero time quota**.  Promotion back to
+    the GPU goes through ``STARTING`` again, and its cost is the swap-in
+    time across the node's transfer fabric *at the moment of promotion*
+    (see :mod:`repro.memtier`).
     """
 
     PENDING = "Pending"
     STARTING = "Starting"  # admitted to a node, container cold-starting
     WARM_IDLE = "WarmIdle"  # pre-warmed: memory held, zero quota, not serving
+    HOST_RESIDENT = "HostResident"  # weights in host RAM, nothing on the GPU
     RUNNING = "Running"
     TERMINATING = "Terminating"
     TERMINATED = "Terminated"
+
+    @classmethod
+    def transition(cls, pod: "Pod", phase: "PodPhase", *, cost: float = 0.0) -> None:
+        """The single lifecycle entry point: move ``pod`` to ``phase``.
+
+        Every phase change in the system routes through here (scattered
+        ``pod.phase = ...`` assignments are forbidden), so the allowed-
+        transitions table below is the authoritative state machine and the
+        per-pod transition history is complete.
+
+        ``cost`` documents the seconds the transition charged the pod —
+        0 for bookkeeping moves, the cold-start time for
+        ``STARTING -> WARM_IDLE/RUNNING``, the swap-in estimate for
+        ``HOST_RESIDENT -> STARTING``.  Demotion to ``HOST_RESIDENT`` is
+        free by construction: weights are immutable, so the host copy is
+        retained and parking is pure bookkeeping.
+        """
+        if phase not in ALLOWED_TRANSITIONS[pod.phase]:
+            raise ValueError(f"{pod.pod_id}: illegal transition {pod.phase} -> {phase}")
+        if cost < 0:
+            raise ValueError(f"{pod.pod_id}: negative transition cost {cost}")
+        pod.transitions.append((pod.phase, phase, cost))
+        pod.phase = phase
+
+
+#: The authoritative pod state machine.  Key properties (property-tested in
+#: ``tests/property/test_pod_lifecycle.py``):
+#:
+#: * no cold skips — ``PENDING`` cannot jump straight to ``RUNNING``; every
+#:   pod pays a ``STARTING`` phase (its cold start or swap-in) first;
+#: * parked states only demote/terminate or restart — ``HOST_RESIDENT``
+#:   re-enters the GPU exclusively through ``STARTING`` (the swap-in), and
+#:   only ``WARM_IDLE`` pods may park (a ``RUNNING`` pod must drain first);
+#: * ``TERMINATED`` is absorbing.
+ALLOWED_TRANSITIONS: dict[PodPhase, frozenset[PodPhase]] = {
+    PodPhase.PENDING: frozenset({PodPhase.STARTING, PodPhase.TERMINATED}),
+    PodPhase.STARTING: frozenset(
+        {PodPhase.WARM_IDLE, PodPhase.RUNNING, PodPhase.TERMINATING}
+    ),
+    PodPhase.WARM_IDLE: frozenset(
+        {PodPhase.RUNNING, PodPhase.HOST_RESIDENT, PodPhase.TERMINATING}
+    ),
+    PodPhase.HOST_RESIDENT: frozenset({PodPhase.STARTING, PodPhase.TERMINATING}),
+    PodPhase.RUNNING: frozenset({PodPhase.TERMINATING}),
+    PodPhase.TERMINATING: frozenset({PodPhase.TERMINATED}),
+    PodPhase.TERMINATED: frozenset(),
+}
 
 
 @dataclasses.dataclass(slots=True)
@@ -86,21 +141,20 @@ class Pod:
     spec: PodSpec
     phase: PodPhase = PodPhase.PENDING
     node_name: str | None = None
+    #: Full lifecycle history: ``(from_phase, to_phase, cost_s)`` rows
+    #: appended by :meth:`PodPhase.transition`.
+    transitions: list[tuple[PodPhase, PodPhase, float]] = dataclasses.field(
+        default_factory=list
+    )
 
     @property
     def pod_id(self) -> str:
         return f"{self.meta.name}-{self.meta.uid}"
 
-    def transition(self, phase: PodPhase) -> None:
-        """Move through the lifecycle; invalid jumps raise."""
-        allowed: dict[PodPhase, set[PodPhase]] = {
-            PodPhase.PENDING: {PodPhase.STARTING, PodPhase.TERMINATED},
-            PodPhase.STARTING: {PodPhase.WARM_IDLE, PodPhase.RUNNING, PodPhase.TERMINATING},
-            PodPhase.WARM_IDLE: {PodPhase.RUNNING, PodPhase.TERMINATING},
-            PodPhase.RUNNING: {PodPhase.TERMINATING},
-            PodPhase.TERMINATING: {PodPhase.TERMINATED},
-            PodPhase.TERMINATED: set(),
-        }
-        if phase not in allowed[self.phase]:
-            raise ValueError(f"{self.pod_id}: illegal transition {self.phase} -> {phase}")
-        self.phase = phase
+    def transition(self, phase: PodPhase, *, cost: float = 0.0) -> None:
+        """Move through the lifecycle; invalid jumps raise.
+
+        Convenience delegate to :meth:`PodPhase.transition`, the single
+        state-machine entry point.
+        """
+        PodPhase.transition(self, phase, cost=cost)

@@ -1,0 +1,39 @@
+"""Host↔GPU model-swapping memory tier.
+
+GPU memory is the next contended axis after the SM%×time plane: a long-tail
+fleet's aggregate model size far exceeds cluster GPU memory, so idle models
+must be *parked in host RAM* (``PodPhase.HOST_RESIDENT``) and swapped back
+onto the GPU on demand across a contended PCIe/NVLink fabric (Torpor /
+FaaSwap / FaaSTube, see PAPERS.md).  This package provides:
+
+* :class:`~repro.memtier.fabric.TransferFabric` — the per-node host↔GPU
+  link model: configurable bandwidth, fair-share contention among
+  concurrent transfers (the fluid limit of pipelined chunked copies), so a
+  swap-in's duration depends on the fabric load *while it runs*;
+* :class:`~repro.memtier.lifecycle.ReplicaLifecycle` — the public
+  replica-lifecycle API: explicit ``promote`` / ``demote`` / ``evict``
+  transitions with documented cost hooks, replacing private scheduler
+  pokes;
+* :class:`~repro.memtier.policy.MemTierPolicy` — the autoscaler policy
+  that chooses per-function among GPU-resident / host-resident / cold
+  using forecast gap vs swap-in latency vs SLO headroom (registered as
+  the ``memtier`` autoscaler policy).
+"""
+
+from repro.memtier.fabric import TransferFabric
+from repro.memtier.lifecycle import ReplicaLifecycle
+from repro.memtier.policy import (
+    DemoteAction,
+    EvictAction,
+    MemTierPolicy,
+    PromoteAction,
+)
+
+__all__ = [
+    "DemoteAction",
+    "EvictAction",
+    "MemTierPolicy",
+    "PromoteAction",
+    "ReplicaLifecycle",
+    "TransferFabric",
+]

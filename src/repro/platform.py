@@ -66,6 +66,11 @@ class PlatformConfig:
     sharing: str = "fast"
     window: float = 0.1
     seed: int = 42
+    #: Host-RAM budget per node for ``HOST_RESIDENT`` pods; ``None``
+    #: disables the memory tier entirely (the pre-existing behaviour).
+    host_memory_mb: float | None = None
+    #: Host↔GPU transfer-fabric bandwidth per node (gigabytes/s).
+    fabric_gbps: float = 16.0
 
 
 @dataclasses.dataclass(slots=True)
@@ -91,17 +96,30 @@ class RunReport:
     cold_wait_ms_mean: float = 0.0
     #: requests that spent any time waiting on a cold start.
     cold_hit_requests: int = 0
+    #: mean pending-queue wait attributable to a host→GPU swap-in (ms) —
+    #: split out from ``cold_wait_ms_mean`` by the gateway's attribution.
+    swap_wait_ms_mean: float = 0.0
+    #: requests that spent any time waiting on a swap-in.
+    swap_hit_requests: int = 0
 
     def summary(self) -> str:
+        wait_line = (
+            f"queue wait {self.queue_wait_ms_mean:.1f} ms  "
+            f"cold wait {self.cold_wait_ms_mean:.1f} ms  "
+            f"cold hits {self.cold_hit_requests}"
+        )
+        if self.swap_hit_requests:
+            wait_line += (
+                f"  swap wait {self.swap_wait_ms_mean:.1f} ms  "
+                f"swap hits {self.swap_hit_requests}"
+            )
         lines = [
             f"function={self.function}  window={self.duration:.1f}s  "
             f"submitted={self.submitted}  completed={self.completed}",
             f"throughput={self.throughput:.2f} req/s  p50={self.p50_ms:.1f} ms  "
             f"p95={self.p95_ms:.1f} ms  p99={self.p99_ms:.1f} ms",
             f"SLO={self.slo_ms:.0f} ms  violations={100 * self.slo_violation_ratio:.2f}%",
-            f"queue wait {self.queue_wait_ms_mean:.1f} ms  "
-            f"cold wait {self.cold_wait_ms_mean:.1f} ms  "
-            f"cold hits {self.cold_hit_requests}",
+            wait_line,
         ]
         for name, util, occ in self.node_metrics:
             lines.append(f"  {name}: GPU util {util:5.1f}%   SM occupancy {occ:5.2f}%")
@@ -120,12 +138,17 @@ class FaSTGShare:
             gpu=config.gpu,
             sharing_mode=config.sharing,
             window=config.window,
+            host_memory_mb=config.host_memory_mb,
+            fabric_gbps=config.fabric_gbps,
         )
         self.registry = FunctionRegistry()
         self.gateway = Gateway(self.engine, self.registry)
         self.controllers: dict[str, FaSTPodController] = {}
         self.profile_db: ProfileDatabase | None = None
         self.scheduler: FaSTScheduler | None = None
+        #: memory tier: the replica-lifecycle API, wired by
+        #: :meth:`start_autoscaler` when the cluster has host memory.
+        self.lifecycle = None
         # Placement state for the manual deploy() paths.
         node_names = [n.name for n in self.cluster.nodes]
         self._mra = MaximalRectanglesScheduler(
@@ -142,10 +165,15 @@ class FaSTGShare:
         sharing: str = "fast",
         window: float = 0.1,
         seed: int = 42,
+        host_memory_mb: float | None = None,
+        fabric_gbps: float = 16.0,
     ) -> "FaSTGShare":
         if not isinstance(nodes, int):
             nodes = tuple(nodes)
-        return cls(PlatformConfig(nodes=nodes, gpu=gpu, sharing=sharing, window=window, seed=seed))
+        return cls(PlatformConfig(
+            nodes=nodes, gpu=gpu, sharing=sharing, window=window, seed=seed,
+            host_memory_mb=host_memory_mb, fabric_gbps=fabric_gbps,
+        ))
 
     # -- function management ------------------------------------------------------
     def register_function(
@@ -154,8 +182,11 @@ class FaSTGShare:
         model: str,
         slo_ms: float | None = None,
         model_sharing: bool = False,
+        weight_mb: float | None = None,
     ) -> FunctionSpec:
-        spec = FunctionSpec.from_model(name, model, slo_ms, use_model_sharing=model_sharing)
+        spec = FunctionSpec.from_model(
+            name, model, slo_ms, use_model_sharing=model_sharing, weight_mb=weight_mb
+        )
         self.registry.register(spec)
         self.controllers[name] = FaSTPodController(self.engine, self.cluster, self.gateway, spec)
         return spec
@@ -310,6 +341,21 @@ class FaSTGShare:
             predictive=predictive,
             min_replicas_by_function=min_replicas_by_function,
         )
+        if any(node.host_memory is not None for node in self.cluster.nodes):
+            # Memory tier on: one lifecycle object shared by every layer —
+            # gateway (demand swap-ins), scheduler (scale-up prefers parked
+            # pods), and the predictive policy (demote/promote/evict).
+            from repro.memtier import ReplicaLifecycle
+
+            self.lifecycle = ReplicaLifecycle(
+                self.engine,
+                self.cluster,
+                self.controllers,
+                placement=self.scheduler.placement,
+            )
+            self.gateway.lifecycle = self.lifecycle
+            self.scheduler.lifecycle = self.lifecycle
+            predictive.lifecycle = self.lifecycle
         self.scheduler.start()
         return self.scheduler
 
@@ -395,6 +441,7 @@ class FaSTGShare:
         duration = t1 - t0
         queue_waits = window.queue_waits_ms()
         cold_waits = window.cold_waits_ms()
+        swap_waits = window.swap_waits_ms()
         return RunReport(
             function=function,
             duration=duration,
@@ -411,6 +458,8 @@ class FaSTGShare:
             queue_wait_ms_mean=float(queue_waits.mean()) if queue_waits.size else 0.0,
             cold_wait_ms_mean=float(cold_waits.mean()) if cold_waits.size else 0.0,
             cold_hit_requests=window.cold_hits(),
+            swap_wait_ms_mean=float(swap_waits.mean()) if swap_waits.size else 0.0,
+            swap_hit_requests=window.swap_hits(),
         )
 
     # -- conveniences -----------------------------------------------------------------

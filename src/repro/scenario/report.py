@@ -39,7 +39,7 @@ class FunctionOutcome:
 
     def to_dict(self) -> dict:
         run = self.run
-        return {
+        payload = {
             "model": self.model,
             "shape": self.shape,
             "slo_ms": run.slo_ms,
@@ -54,6 +54,12 @@ class FunctionOutcome:
             "cold_wait_ms_mean": run.cold_wait_ms_mean,
             "cold_hit_requests": run.cold_hit_requests,
         }
+        # Memory-tier keys appear only when the tier actually acted, so
+        # memtier-off reports stay byte-identical to pre-tier baselines.
+        if run.swap_hit_requests:
+            payload["swap_wait_ms_mean"] = run.swap_wait_ms_mean
+            payload["swap_hit_requests"] = run.swap_hit_requests
+        return payload
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -96,6 +102,10 @@ class ScenarioReport:
     retirements: int
     #: scheduler replica-count series [(t, {function: count}), ...] for plots.
     replica_series: tuple[tuple[float, dict[str, int]], ...] = ()
+    #: memory-tier event counts (zero when the host tier is disabled).
+    swap_promotions: int = 0
+    demotions: int = 0
+    host_evictions: int = 0
 
     def function(self, name: str) -> FunctionOutcome:
         for outcome in self.functions:
@@ -141,15 +151,27 @@ class ScenarioReport:
                     ],
                 },
             },
-            "events": {
-                "scale_ups": self.scale_ups,
-                "scale_downs": self.scale_downs,
-                "nofit": self.nofit_events,
-                "prewarms": self.prewarms,
-                "promotions": self.promotions,
-                "retirements": self.retirements,
-            },
+            "events": self._events_dict(),
         }
+
+    def _events_dict(self) -> dict:
+        events = {
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "nofit": self.nofit_events,
+            "prewarms": self.prewarms,
+            "promotions": self.promotions,
+            "retirements": self.retirements,
+        }
+        # Memory-tier counts only appear when the tier acted: memtier-off
+        # reports serialize byte-identically to pre-tier baselines.
+        if self.swap_promotions:
+            events["swap_promotions"] = self.swap_promotions
+        if self.demotions:
+            events["demotions"] = self.demotions
+        if self.host_evictions:
+            events["host_evictions"] = self.host_evictions
+        return events
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -181,7 +203,13 @@ class ScenarioReport:
             f"{self.gpu_seconds:.0f} GPU-s  alloc {100 * self.mean_alloc_fraction:.1f}%",
             f"  events: {self.scale_ups} up / {self.scale_downs} down / "
             f"{self.nofit_events} nofit / {self.prewarms} prewarm / "
-            f"{self.promotions} promote / {self.retirements} retire",
+            f"{self.promotions} promote / {self.retirements} retire"
+            + (
+                f" / {self.swap_promotions} swap-in / {self.demotions} demote / "
+                f"{self.host_evictions} evict-host"
+                if (self.swap_promotions or self.demotions or self.host_evictions)
+                else ""
+            ),
             "  function            model       SLO(ms)  done/sub    p95(ms)  viol%  cold-hits",
         ]
         for outcome in self.functions:

@@ -96,10 +96,16 @@ def build_platform(scenario: Scenario) -> "FaSTGShare":
         sharing=cluster.sharing,
         window=cluster.window,
         seed=scenario.seed,
+        host_memory_mb=cluster.host_memory_mb,
+        fabric_gbps=cluster.fabric_gbps,
     )
     for fn in scenario.functions:
         platform.register_function(
-            fn.name, model=fn.model, slo_ms=fn.slo_ms, model_sharing=fn.model_sharing
+            fn.name,
+            model=fn.model,
+            slo_ms=fn.slo_ms,
+            model_sharing=fn.model_sharing,
+            weight_mb=fn.weight_mb,
         )
     return platform
 
@@ -240,6 +246,7 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
     submitted_before: dict[str, int] = {}
     events_before = 0
     prewarms_before = retirements_before = promotions_before = 0
+    swaps_before = demotions_before = evictions_before = 0
     if measurement.warmup_s > 0:
         engine.run(until=t_start + measurement.warmup_s)
         # Everything measured — latency windows, node metrics, utilization
@@ -250,6 +257,10 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
         submitted_before = dict(platform.gateway.submitted)
         samples.clear()
         promotions_before = platform.gateway.promotions
+        if platform.lifecycle is not None:
+            swaps_before = platform.lifecycle.promotions
+            demotions_before = platform.lifecycle.demotions
+            evictions_before = platform.lifecycle.evictions
         if scheduler is not None:
             events_before = len(scheduler.events)
             prewarms_before = scheduler.predictive.prewarms
@@ -305,6 +316,13 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
         scale_ups = scale_downs = nofit_events = prewarms = retirements = 0
         replica_series = ()
 
+    if platform.lifecycle is not None:
+        swap_promotions = platform.lifecycle.promotions - swaps_before
+        demotions = platform.lifecycle.demotions - demotions_before
+        host_evictions = platform.lifecycle.evictions - evictions_before
+    else:
+        swap_promotions = demotions = host_evictions = 0
+
     return ScenarioReport(
         scenario=scenario,
         quick=quick,
@@ -338,4 +356,7 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
         promotions=platform.gateway.promotions - promotions_before,
         retirements=retirements,
         replica_series=replica_series,
+        swap_promotions=swap_promotions,
+        demotions=demotions,
+        host_evictions=host_evictions,
     )

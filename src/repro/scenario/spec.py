@@ -25,7 +25,7 @@ import dataclasses
 import json
 import typing as _t
 
-from repro.autoscaler.controller import AUTOSCALE_POLICIES
+from repro.autoscaler.registry import available_policies
 from repro.faas.traces import TRACE_SHAPES
 from repro.gpu.specs import GPU_CATALOG
 from repro.models import MODEL_ZOO
@@ -244,8 +244,13 @@ class ScenarioFunction:
     model_sharing: bool = True
     min_replicas: int = 1
     initial_replicas: int | None = None
+    #: Memory-tier weight-size override (MB): what parks in host RAM and
+    #: transits the fabric on swap-in.  ``None`` = the model's weights_mb.
+    weight_mb: float | None = None
 
     def __post_init__(self) -> None:
+        if self.weight_mb is not None and self.weight_mb <= 0:
+            raise ScenarioError(f"function {self.name!r}: weight_mb must be positive")
         if not self.name:
             raise ScenarioError("function: name must be non-empty")
         if self.model not in MODEL_ZOO:
@@ -281,6 +286,8 @@ class ScenarioFunction:
             payload["min_replicas"] = self.min_replicas
         if self.initial_replicas is not None:
             payload["initial_replicas"] = self.initial_replicas
+        if self.weight_mb is not None:
+            payload["weight_mb"] = self.weight_mb
         return payload
 
     @classmethod
@@ -301,20 +308,35 @@ class ScenarioFunction:
             kwargs["initial_replicas"] = _integer(
                 data.pop("initial_replicas"), f"{path}.initial_replicas"
             )
+        if "weight_mb" in data:
+            raw = data.pop("weight_mb")
+            kwargs["weight_mb"] = None if raw is None else _number(raw, f"{path}.weight_mb")
         _reject_unknown(data, path)
         return cls(name=name, model=model, workload=workload, **kwargs)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class ClusterSpec:
-    """The serving cluster: per-node GPU types (or N homogeneous nodes)."""
+    """The serving cluster: per-node GPU types (or N homogeneous nodes).
+
+    ``host_memory_mb`` enables the host↔GPU memory tier: that much host RAM
+    per node is available for ``HOST_RESIDENT`` pods (weights parked off the
+    GPU; see :mod:`repro.memtier`).  ``fabric_gbps`` is each node's host↔GPU
+    transfer-fabric bandwidth in gigabytes/s (PCIe 3.0 x16 ≈ 16).
+    """
 
     nodes: int | tuple[str, ...] = 1
     gpu: str = "V100"
     sharing: str = "fast"
     window: float = 0.1
+    host_memory_mb: float | None = None
+    fabric_gbps: float = 16.0
 
     def __post_init__(self) -> None:
+        if self.host_memory_mb is not None and self.host_memory_mb <= 0:
+            raise ScenarioError("cluster: host_memory_mb must be positive (or null)")
+        if self.fabric_gbps <= 0:
+            raise ScenarioError("cluster: fabric_gbps must be positive")
         if isinstance(self.nodes, int):
             if self.nodes < 1:
                 raise ScenarioError("cluster: need at least one node")
@@ -350,12 +372,23 @@ class ClusterSpec:
             payload["gpu"] = self.gpu
         if self.window != 0.1:
             payload["window"] = self.window
+        if self.host_memory_mb is not None:
+            payload["host_memory_mb"] = self.host_memory_mb
+        if self.fabric_gbps != 16.0:
+            payload["fabric_gbps"] = self.fabric_gbps
         return payload
 
     @classmethod
     def from_dict(cls, payload: _t.Any, path: str = "cluster") -> "ClusterSpec":
         data = _require(payload, path)
         kwargs: dict[str, _t.Any] = {}
+        if "host_memory_mb" in data:
+            raw = data.pop("host_memory_mb")
+            kwargs["host_memory_mb"] = (
+                None if raw is None else _number(raw, f"{path}.host_memory_mb")
+            )
+        if "fabric_gbps" in data:
+            kwargs["fabric_gbps"] = _number(data.pop("fabric_gbps"), f"{path}.fabric_gbps")
         if "nodes" in data:
             raw = data.pop("nodes")
             if isinstance(raw, bool):
@@ -380,9 +413,12 @@ class ClusterSpec:
 class AutoscalerSpec:
     """The control plane: autoscaling policy + pre-warm/placement knobs.
 
-    ``policy`` is one of :data:`~repro.autoscaler.controller.AUTOSCALE_POLICIES`
-    (``oracle`` builds per-function trace oracles from each workload's
-    resolved counts, lead ``oracle_lead_s``); ``placement`` is one of
+    ``policy`` is any name in
+    :func:`~repro.autoscaler.registry.available_policies` — the built-ins
+    plus anything registered via
+    :func:`~repro.autoscaler.register_forecaster` (``oracle`` builds
+    per-function trace oracles from each workload's resolved counts, lead
+    ``oracle_lead_s``); ``placement`` is one of
     :data:`~repro.scheduler.mra.PLACEMENT_POLICIES`.  ``enabled=False`` runs a
     static deployment (each function's ``initial_replicas`` pods, no control
     loop) — the form the non-``fast`` sharing baselines use.
@@ -401,9 +437,12 @@ class AutoscalerSpec:
     oracle_lead_s: float = 4.0
 
     def __post_init__(self) -> None:
-        if self.policy not in AUTOSCALE_POLICIES:
+        # Read the registry at validation time, so policies registered via
+        # repro.autoscaler.register_forecaster are valid scenario policies.
+        policies = available_policies()
+        if self.policy not in policies:
             raise ScenarioError(
-                f"autoscaler: unknown policy {self.policy!r}; known: {AUTOSCALE_POLICIES}"
+                f"autoscaler: unknown policy {self.policy!r}; known: {policies}"
             )
         if self.placement not in PLACEMENT_POLICIES:
             raise ScenarioError(
@@ -532,6 +571,15 @@ class Scenario:
                 "scenario: the autoscaler requires sharing='fast' "
                 f"(got {self.cluster.sharing!r}); set autoscaler.enabled=false "
                 "for static baseline modes"
+            )
+        if (
+            self.autoscaler.enabled
+            and self.autoscaler.policy == "memtier"
+            and self.cluster.host_memory_mb is None
+        ):
+            raise ScenarioError(
+                "scenario: policy 'memtier' needs cluster.host_memory_mb "
+                "(the host RAM budget HOST_RESIDENT pods park in)"
             )
 
     def function(self, name: str) -> ScenarioFunction:

@@ -49,7 +49,7 @@ class SchedulerEvent:
 
     time: float
     function: str
-    action: str  # "up" | "promote" | "down" | "nofit"
+    action: str  # "up" | "promote" | "swapin" | "down" | "nofit"
     sm_partition: float
     quota: float
     node: str | None
@@ -122,10 +122,15 @@ class FaSTScheduler:
             predictive = PredictiveAutoscaler(engine, gateway, self.controllers)
         self.predictive = predictive
         self.predictive.bind(self)
+        #: memory tier: the replica-lifecycle API (None when disabled).
+        #: When set, a scale-up prefers swapping a HOST_RESIDENT pod back in
+        #: over placing and cold-starting a fresh one.
+        self.lifecycle = None
         self.events: list[SchedulerEvent] = []
         self.replica_series: list[tuple[float, dict[str, int]]] = []
         self._last_scale_up: dict[str, float] = {}
         self._promotions_seen: dict[str, int] = {}
+        self._swaps_seen: dict[str, int] = {}
         self._handle = None
         self._running = False
 
@@ -213,6 +218,11 @@ class FaSTScheduler:
             if promoted > self._promotions_seen.get(name, 0):
                 self._promotions_seen[name] = promoted
                 self._last_scale_up[name] = now
+            # Gateway-driven swap-ins are scale-ups too (same cooldown rule).
+            swapped = self.gateway.swap_promotions_by_function.get(name, 0)
+            if swapped > self._swaps_seen.get(name, 0):
+                self._swaps_seen[name] = swapped
+                self._last_scale_up[name] = now
             predicted = self.predictive.predicted_rps(name) * self.headroom
             base_floor = self.min_replicas_by_function.get(name, self.min_replicas)
             floor = self.predictive.min_replicas_for(name, base_floor)
@@ -271,6 +281,18 @@ class FaSTScheduler:
                                warm.pod.node_name)
             )
             return
+        # Next-best: a HOST_RESIDENT pod — a fabric swap-in instead of a
+        # fresh placement plus full cold start.
+        if self.lifecycle is not None:
+            pod = self.lifecycle.promote(action.function)
+            if pod is not None:
+                self._last_scale_up[action.function] = self.engine.now
+                self.events.append(
+                    SchedulerEvent(self.engine.now, action.function, "swapin",
+                                   pod.spec.sm_partition, pod.spec.quota_limit,
+                                   pod.node_name)
+                )
+                return
         try:
             # The scaler plans with Q as both request and limit; deploying at
             # [Q, Q] matches the profiling convention the throughputs assume.

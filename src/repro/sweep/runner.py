@@ -45,7 +45,7 @@ def cell_metrics(report: ScenarioReport) -> dict[str, _t.Any]:
     """
     all_cold = [w for o in report.functions for w in o.run.log.cold_waits_ms()]
     all_queue = [w for o in report.functions for w in o.run.log.queue_waits_ms()]
-    return {
+    metrics = {
         "submitted": report.submitted,
         "completed": report.completed,
         "slo_violation_ratio": report.overall_violation_ratio,
@@ -67,6 +67,18 @@ def cell_metrics(report: ScenarioReport) -> dict[str, _t.Any]:
         "per_function_violations": report.per_function_violations,
         "node_utilization": dict(report.node_utilization),
     }
+    # Memory-tier metrics only appear when the tier acted, keeping
+    # memtier-off sweep reports byte-identical to pre-tier baselines.
+    if report.swap_promotions or report.demotions or report.host_evictions:
+        all_swap = [w for o in report.functions for w in o.run.log.swap_waits_ms()]
+        metrics["swap_promotions"] = report.swap_promotions
+        metrics["demotions"] = report.demotions
+        metrics["host_evictions"] = report.host_evictions
+        metrics["swap_hit_requests"] = sum(
+            o.run.swap_hit_requests for o in report.functions
+        )
+        metrics["swap_wait_ms_mean"] = sum(all_swap) / len(all_swap) if all_swap else 0.0
+    return metrics
 
 
 def run_cell(task: CellTask) -> CellResult:

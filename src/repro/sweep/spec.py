@@ -33,7 +33,10 @@ Axes (:data:`SWEEP_AXES`):
 * ``nodes``          — cluster size/shape (an int or a per-node GPU-type list);
 * ``fleet_size``     — serve only the first N functions of the base fleet;
 * ``workload_scale`` — multiply every function's offered load by a factor;
-* ``headroom``       — the autoscaler's capacity headroom.
+* ``headroom``       — the autoscaler's capacity headroom;
+* ``fabric_gbps``    — per-node host↔GPU transfer bandwidth (GB/s);
+* ``host_memory``    — per-node host-RAM budget in MB (``null`` disables
+  the memory tier entirely).
 
 Validation is strict (:class:`SweepError` with the offending path): unknown
 axes, duplicate axes or values, out-of-range values, a ``fleet_size`` larger
@@ -50,7 +53,7 @@ import json
 import typing as _t
 import zlib
 
-from repro.autoscaler.controller import AUTOSCALE_POLICIES
+from repro.autoscaler.registry import available_policies
 from repro.gpu.specs import GPU_CATALOG
 from repro.scenario.spec import Scenario, ScenarioError, WorkloadSpec
 from repro.scheduler.mra import PLACEMENT_POLICIES
@@ -66,6 +69,8 @@ SWEEP_AXES = (
     "fleet_size",
     "workload_scale",
     "headroom",
+    "fabric_gbps",
+    "host_memory",
 )
 
 
@@ -140,9 +145,12 @@ class SweepAxis:
                     f"{path}: unknown placement {value!r}; known: {PLACEMENT_POLICIES}"
                 )
         elif self.axis == "autoscaler":
-            if value not in AUTOSCALE_POLICIES:
+            # Read the registry at validation time so plugin-registered
+            # policies are sweepable without touching this module.
+            known = available_policies()
+            if value not in known:
                 raise SweepError(
-                    f"{path}: unknown policy {value!r}; known: {AUTOSCALE_POLICIES}"
+                    f"{path}: unknown policy {value!r}; known: {known}"
                 )
         elif self.axis == "nodes":
             if isinstance(value, bool):
@@ -170,11 +178,23 @@ class SweepAxis:
                 raise SweepError(f"{path}: expected a number, got {value!r}")
             if value <= 0:
                 raise SweepError(f"{path}: workload_scale must be positive, got {value}")
-        else:  # headroom
+        elif self.axis == "headroom":
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise SweepError(f"{path}: expected a number, got {value!r}")
             if value < 1.0:
                 raise SweepError(f"{path}: headroom must be >= 1, got {value}")
+        elif self.axis == "fabric_gbps":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SweepError(f"{path}: expected a number, got {value!r}")
+            if value <= 0:
+                raise SweepError(f"{path}: fabric_gbps must be positive, got {value}")
+        else:  # host_memory (MB per node; null disables the host tier)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+            ):
+                raise SweepError(f"{path}: expected a number or null, got {value!r}")
+            if value is not None and value <= 0:
+                raise SweepError(f"{path}: host_memory must be positive, got {value}")
 
     def to_dict(self) -> dict:
         return {
@@ -276,6 +296,19 @@ def apply_axis(scenario: Scenario, axis: str, value: _t.Any) -> Scenario:
         return dataclasses.replace(
             scenario,
             autoscaler=dataclasses.replace(scenario.autoscaler, headroom=float(value)),
+        )
+    if axis == "fabric_gbps":
+        return dataclasses.replace(
+            scenario,
+            cluster=dataclasses.replace(scenario.cluster, fabric_gbps=float(value)),
+        )
+    if axis == "host_memory":
+        return dataclasses.replace(
+            scenario,
+            cluster=dataclasses.replace(
+                scenario.cluster,
+                host_memory_mb=None if value is None else float(value),
+            ),
         )
     raise SweepError(f"unknown axis {axis!r}; known: {SWEEP_AXES}")
 

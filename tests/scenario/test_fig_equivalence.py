@@ -1,13 +1,16 @@
 """Experiment reroutes preserve results bit-for-bit.
 
-``tests/data/fig14_quick_baseline.json`` is the ``fig14_cluster.run(quick=True)``
-report captured at the commit *before* fig12/fig14/fig15 were rerouted
-through ``FaSTGShare.run_scenario``; ``tests/data/fig15_quick_baseline.json``
-is the ``fig15_prewarm.run(quick=True)`` report captured before the
-per-policy loops were rerouted through the declarative ``Sweep`` API.  The
-rerouted experiments must replay the same seeds through the same operations
-and reproduce every per-policy metric — any drift means a one-code-path
-refactor changed behaviour, not just structure.
+``tests/data/fig14_quick_baseline.json`` /
+``tests/data/fig15_quick_baseline.json`` pin the
+``fig14_cluster.run(quick=True)`` / ``fig15_prewarm.run(quick=True)``
+reports.  Originally captured before fig12/fig14/fig15 were rerouted
+through ``FaSTGShare.run_scenario`` and the declarative ``Sweep`` API, they
+were re-captured when the figures' defaults flipped to honour the
+measurement warm-up (``warmup_s=None`` now excludes the cold ramp; the
+``warmup_s=0.0`` path was verified bit-identical against the pre-flip pins
+before re-capturing).  The experiments must replay the same seeds through
+the same operations and reproduce every per-policy metric — any drift means
+a refactor changed behaviour, not just structure.
 """
 
 from __future__ import annotations

@@ -1,0 +1,106 @@
+"""The memory-tier sweep axes: ``fabric_gbps`` and ``host_memory``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
+from repro.sweep import Sweep, SweepAxis, SweepError, apply_axis
+
+
+def base_scenario(**cluster_overrides) -> Scenario:
+    cluster = dict(nodes=("V100", "V100"))
+    cluster.update(cluster_overrides)
+    return Scenario(
+        name="memtier-base",
+        seed=7,
+        cluster=ClusterSpec(**cluster),
+        functions=(
+            ScenarioFunction(
+                name="fn0",
+                model="resnet50",
+                workload=WorkloadSpec(kind="counts", counts=(5, 9, 3), bin_s=3.0),
+            ),
+        ),
+        autoscaler=AutoscalerSpec(policy="reactive", interval=0.5),
+    )
+
+
+def test_fabric_gbps_axis_applies_to_cluster():
+    scenario = base_scenario(host_memory_mb=65536.0)
+    for value in (8, 16.0, 64.0):
+        cell = apply_axis(scenario, "fabric_gbps", value)
+        assert cell.cluster.fabric_gbps == float(value)
+        assert cell.cluster.host_memory_mb == 65536.0  # untouched
+        assert cell.functions == scenario.functions
+
+
+def test_host_memory_axis_applies_and_null_disables_tier():
+    scenario = base_scenario(host_memory_mb=65536.0)
+    cell = apply_axis(scenario, "host_memory", 131072)
+    assert cell.cluster.host_memory_mb == 131072.0
+    off = apply_axis(scenario, "host_memory", None)
+    assert off.cluster.host_memory_mb is None
+
+
+def test_fabric_gbps_axis_validation():
+    SweepAxis(axis="fabric_gbps", values=(8.0, 16.0))  # ok
+    with pytest.raises(SweepError, match="positive"):
+        SweepAxis(axis="fabric_gbps", values=(0.0,))
+    with pytest.raises(SweepError, match="positive"):
+        SweepAxis(axis="fabric_gbps", values=(-4.0,))
+    with pytest.raises(SweepError):
+        SweepAxis(axis="fabric_gbps", values=(True,))
+    with pytest.raises(SweepError):
+        SweepAxis(axis="fabric_gbps", values=("fast",))
+
+
+def test_host_memory_axis_validation():
+    SweepAxis(axis="host_memory", values=(65536, None))  # null = tier off
+    with pytest.raises(SweepError, match="positive"):
+        SweepAxis(axis="host_memory", values=(0,))
+    with pytest.raises(SweepError, match="positive"):
+        SweepAxis(axis="host_memory", values=(-1.0,))
+    with pytest.raises(SweepError):
+        SweepAxis(axis="host_memory", values=("lots",))
+
+
+def test_memtier_grid_expands_per_cell_clusters():
+    """A bandwidth × host-RAM grid materializes distinct cluster specs."""
+    sweep = Sweep(
+        name="memtier-grid",
+        base=base_scenario(host_memory_mb=65536.0),
+        axes=(
+            SweepAxis(axis="fabric_gbps", values=(8.0, 32.0)),
+            SweepAxis(axis="host_memory", values=(65536.0, None)),
+        ),
+    )
+    cells = sweep.cells()
+    assert sweep.cell_count == 4
+    configs = [
+        (cell.scenario.cluster.fabric_gbps, cell.scenario.cluster.host_memory_mb)
+        for cell in cells
+    ]
+    assert configs == [(8.0, 65536.0), (8.0, None), (32.0, 65536.0), (32.0, None)]
+
+
+def test_memtier_axes_round_trip_through_json():
+    sweep = Sweep(
+        name="memtier-grid",
+        base=base_scenario(),
+        axes=(
+            SweepAxis(axis="fabric_gbps", values=(8.0, 32.0)),
+            SweepAxis(axis="host_memory", values=(65536.0, None)),
+        ),
+    )
+    payload = sweep.to_dict()
+    restored = Sweep.from_dict(payload)
+    assert restored.to_dict() == payload
+    assert [a.axis for a in restored.axes] == ["fabric_gbps", "host_memory"]
+    assert restored.axes[1].values == (65536.0, None)

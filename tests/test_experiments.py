@@ -112,6 +112,58 @@ def test_fig15_trace_file_roundtrip(tmp_path):
     assert result.bins == 8 and result.bin_s == 3.0
 
 
+def test_swap_bench_quick():
+    from repro.experiments import swap_bench
+
+    result = swap_bench.run(quick=True)
+    assert [out.policy for out in result.outcomes] == list(swap_bench.SWAP_POLICIES)
+    memtier = result.outcome("memtier")
+    assert memtier.demotions > 0  # the tier actually acted
+    assert memtier.swap_promotions > 0
+    for out in result.outcomes:
+        assert out.submitted > 0
+        assert 0.0 <= out.effective_violation_ratio <= 1.0
+        assert out.slo_violation_ratio <= out.effective_violation_ratio + 1e-12
+        assert out.unserved_requests == out.submitted - out.completed
+        assert out.gpu_seconds > 0
+    for baseline in ("hybrid", "warmidle"):
+        assert result.outcome(baseline).demotions == 0
+    # The committed quick configuration is the CI gate: domination must hold.
+    assert result.dominates
+    assert result.gpu_seconds_saving("hybrid") > 0
+    assert result.gpu_seconds_saving("warmidle") > 0
+    assert "strict domination" in swap_bench.format_result(result)
+    payload = swap_bench.report_payload(result)
+    assert payload["benchmark"] == "swap"
+    assert payload["headline"]["dominates"] is True
+    tiers = payload["fleet_tiers"]
+    assert set(tiers) == {"steady", "periodic", "rare"}
+    assert sum(tiers.values()) == payload["fleet_size"]
+
+
+def test_swap_bench_jobs_matches_serial():
+    import json
+
+    from repro.experiments import swap_bench
+
+    serial = swap_bench.report_payload(swap_bench.run(quick=True))
+    pooled = swap_bench.report_payload(swap_bench.run(quick=True, jobs=2))
+    assert json.dumps(serial, sort_keys=True) == json.dumps(pooled, sort_keys=True)
+
+
+def test_swap_bench_longtail_fleet_shape():
+    from repro.experiments import swap_bench
+    from repro.models import MODEL_ZOO
+
+    fleet = swap_bench.longtail_fleet(periodic=10, rare=200, heads=2)
+    assert len(fleet) == 212
+    tiers = {tier for _, _, tier, _ in fleet}
+    assert tiers == {"steady", "periodic", "rare"}
+    for _, model, _, mean_rps in fleet:
+        assert model in MODEL_ZOO
+        assert mean_rps > 0
+
+
 def test_ablation_format():
     placement = ablations.run_placement_ablation(pods=40)
     tokens = ablations.run_token_ablation(duration=3.0)
