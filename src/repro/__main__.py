@@ -8,6 +8,8 @@ Usage::
     python -m repro scenario examples/scenarios/cold_bursty.json [--quick]
     python -m repro sweep examples/sweeps/azure_fleet.json --quick --jobs 2
     python -m repro sweep --diff A.json B.json   # compare two saved sweep reports
+    python -m repro scenario SPEC.json --telemetry --trace-out T.json --prom-out M.prom
+    python -m repro explain REPORT.json --worst 3 # causal chains for SLO violations
     python -m repro bench --quick                # writes BENCH_engine.json
     python -m repro cluster-bench --quick        # writes BENCH_cluster.json
     python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
@@ -115,12 +117,23 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     if args.seed is not None:
         scenario = dataclasses.replace(scenario, seed=args.seed)
+    if (args.telemetry or args.trace_out or args.prom_out) and not scenario.measurement.telemetry:
+        scenario = dataclasses.replace(
+            scenario,
+            measurement=dataclasses.replace(scenario.measurement, telemetry=True),
+        )
     try:
         report = FaSTGShare.run_scenario(scenario, quick=args.quick)
         print(report.summary())
         if args.output:
             report.save(args.output)
             print(f"[report written to {args.output}]")
+        if args.trace_out:
+            _write_chrome_trace(report.telemetry, args.trace_out)
+            print(f"[Chrome trace written to {args.trace_out}]")
+        if args.prom_out:
+            _write_prometheus(report.telemetry, args.prom_out)
+            print(f"[Prometheus snapshot written to {args.prom_out}]")
     except BrokenPipeError:  # e.g. `python -m repro scenario ... | head`
         return 0
     except Exception as exc:  # bad trace reference, runner blow-up: exit non-zero
@@ -129,6 +142,55 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         traceback.print_exc()
         print(f"error: scenario {scenario.name!r}: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _write_chrome_trace(telemetry: dict, path: str) -> None:
+    """Export a report's spans as (validated) Chrome trace-event JSON."""
+    import json
+
+    from repro.obs import RequestSpan, to_chrome_trace, validate_chrome_trace
+
+    spans = [RequestSpan.from_dict(s) for s in telemetry["spans"]]
+    trace = to_chrome_trace(spans, clip_s=telemetry.get("end"))
+    validate_chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _write_prometheus(telemetry: dict, path: str) -> None:
+    """Export a report's metrics snapshot as (validated) Prometheus text."""
+    from repro.obs import MetricsRegistry, validate_prometheus_text
+
+    registry = MetricsRegistry.from_dict(telemetry["metrics"])
+    text = registry.to_prometheus_text()
+    validate_prometheus_text(text)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import ExplainError, explain_report
+
+    try:
+        with open(args.report, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {args.report}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict):
+        print(f"error: {args.report}: not a report object", file=sys.stderr)
+        return 2
+    try:
+        print(explain_report(payload, function=args.function, worst=args.worst))
+    except ExplainError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `python -m repro explain ... | head`
+        return 0
     return 0
 
 
@@ -366,6 +428,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the ScenarioReport JSON here",
     )
+    p_scenario.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record structured telemetry (events/spans/metrics) into the report",
+    )
+    p_scenario.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="export request spans as Chrome trace-event JSON (implies --telemetry); "
+        "open in Perfetto (https://ui.perfetto.dev)",
+    )
+    p_scenario.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="PATH",
+        help="export the metrics snapshot as Prometheus text (implies --telemetry)",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="reconstruct causal chains behind the worst SLO violations in a "
+        "telemetry-enabled ScenarioReport",
+    )
+    p_explain.add_argument(
+        "report", metavar="REPORT.json", help="a report saved with telemetry enabled"
+    )
+    p_explain.add_argument(
+        "--function", default=None, metavar="F", help="only explain this function"
+    )
+    p_explain.add_argument(
+        "--worst", type=int, default=3, metavar="N", help="how many violations (default 3)"
+    )
 
     p_sweep = sub.add_parser(
         "sweep", help="run a declarative parameter sweep (JSON) or diff two reports"
@@ -507,6 +602,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "explain":
+        return _cmd_explain(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "swap-bench":

@@ -126,6 +126,42 @@ class PredictiveAutoscaler:
         if not self.predictive or self.scheduler is None:
             return
         views = [self._view(now, name) for name in sorted(self.controllers)]
+        hub = self.engine.hub
+        if hub.enabled:
+            # Forecast inputs first, chosen actions after: the audit trail
+            # reads "what the policy saw → what it did" in event order.
+            # All-idle views (nothing running, parked, pending, or predicted)
+            # are skipped so long-tail fleets don't drown the stream in
+            # zero rows.
+            for view in views:
+                if not (
+                    view.serving
+                    or view.warm
+                    or view.parked
+                    or view.pending
+                    or view.predicted_rps
+                ):
+                    continue
+                inputs = {
+                    "serving": view.serving,
+                    "warm": view.warm,
+                    "parked": view.parked,
+                    "pending": view.pending,
+                    "capacity_rps": view.capacity_rps,
+                    "predicted_rps": view.predicted_rps,
+                    "next_active": view.next_active,
+                    "idle_deadline": view.idle_deadline,
+                    "active_rate": view.active_rate,
+                    "last_arrival": view.last_arrival,
+                    "swap_in_s": view.swap_in_s,
+                }
+                hub.emit(
+                    now,
+                    "autoscaler",
+                    "tick",
+                    view.function,
+                    **{k: v for k, v in inputs.items() if v is not None},
+                )
         decision = self.policy.plan(now, views)
         self._floors = decision.min_replicas
         self._idle = decision.idle
@@ -140,9 +176,26 @@ class PredictiveAutoscaler:
                 # evict go through here without this module knowing them).
                 action.apply(self)
 
-    def note_event(self, action: str, function: str, reason: str) -> None:
-        """Record an applied decision (extension-action bookkeeping hook)."""
+    def note_event(
+        self, action: str, function: str, reason: str, **payload: object
+    ) -> None:
+        """Record an applied decision (extension-action bookkeeping hook).
+
+        ``payload`` is decision context for the telemetry audit trail only
+        (e.g. the forecast gap a demotion was taken on); the
+        :class:`AutoscaleEvent` timeline keeps its stable shape.
+        """
         self.events.append(AutoscaleEvent(self.engine.now, function, action, reason))
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "autoscaler",
+                action,
+                function,
+                reason=reason,
+                **{k: v for k, v in payload.items() if v is not None},
+            )
 
     # -- observation & snapshot -----------------------------------------------------
     def _ingest(self, now: float) -> None:
@@ -214,14 +267,10 @@ class PredictiveAutoscaler:
             except NoFitError:
                 continue
             self.prewarms += 1
-            self.events.append(
-                AutoscaleEvent(now, action.function, "prewarm", action.reason)
-            )
+            self.note_event("prewarm", action.function, action.reason, sm=sm, quota=quota)
             return
         self._nofit_until[action.function] = now + self.nofit_backoff_s
-        self.events.append(
-            AutoscaleEvent(now, action.function, "prewarm-nofit", action.reason)
-        )
+        self.note_event("prewarm-nofit", action.function, action.reason)
 
     def _prewarm_configs(self, action: PreWarmAction) -> list[tuple[float, float]]:
         """Candidate (sm, quota) configs for one pre-warm, best first.
@@ -258,9 +307,7 @@ class PredictiveAutoscaler:
         except KeyError:
             pass
         self.retirements += 1
-        self.events.append(
-            AutoscaleEvent(self.engine.now, action.function, "retire", action.reason)
-        )
+        self.note_event("retire", action.function, action.reason, pod=action.pod_id)
 
 
 def build_autoscaler(

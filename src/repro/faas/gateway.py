@@ -16,6 +16,12 @@ Responsibilities (paper Fig. 2):
 * completion bookkeeping into the :class:`~repro.faas.requests.RequestLog`;
 * **RPS observation**: per-function arrival bins, from which the FaST
   Scheduler reads its predicted request loads (``R_j``).
+
+When the engine's telemetry hub is enabled the gateway emits the request
+lifecycle as structured events (``arrival``/``park``/``unpark``/
+``promote_warm``/``swap_promote``/``reroute``/``complete``) from which
+:mod:`repro.obs.spans` reconstructs per-request spans; every emission site
+guards on ``hub.enabled`` so the disabled path builds no payloads.
 """
 
 from __future__ import annotations
@@ -137,18 +143,38 @@ class Gateway:
         self.promotions += 1
         self.promotions_by_function[function] += 1
         replica.promote()
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "gateway",
+                "promote_warm",
+                function,
+                trigger="claim",
+                replica=replica.replica_id,
+            )
         return replica
 
     def _promote_warm(self, function: str) -> None:
         """Promote warm replicas to absorb parked requests (one per request)."""
         warm = self._warm[function]
         in_flight = self._promoting[function]
+        hub = self.engine.hub
         while warm and len(self._pending[function]) > in_flight:
             replica = warm.pop(0)
             replica.promote()
             in_flight += 1
             self.promotions += 1
             self.promotions_by_function[function] += 1
+            if hub.enabled:
+                hub.emit(
+                    self.engine.now,
+                    "gateway",
+                    "promote_warm",
+                    function,
+                    trigger="parked",
+                    replica=replica.replica_id,
+                )
         self._promoting[function] = in_flight
 
     # -- intake & routing ----------------------------------------------------------
@@ -162,6 +188,9 @@ class Gateway:
         self.log.note_submitted()
         self._arrival_bins[function][math.floor(now / self.rps_bin_s)] += 1
         self.last_arrival[function] = now
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(now, "gateway", "arrival", function, rid=request.request_id)
         self._route(request)
         return request
 
@@ -174,6 +203,16 @@ class Gateway:
             request.parked_at = self.engine.now
             if self._swapping[request.function] > 0:
                 request.swap_marked = True
+            hub = self.engine.hub
+            if hub.enabled:
+                hub.emit(
+                    self.engine.now,
+                    "gateway",
+                    "park",
+                    request.function,
+                    rid=request.request_id,
+                    reason="swap" if request.swap_marked else "cold",
+                )
             self._pending[request.function].append(request)
             self._promote_warm(request.function)
             self._promote_parked(request.function)
@@ -202,6 +241,7 @@ class Gateway:
             return
         pending = self._pending[function]
         in_flight = self._promoting[function] + self._swapping[function]
+        hub = self.engine.hub
         while (
             len(pending) > in_flight
             and self.lifecycle.promote(function, demand=True) is not None
@@ -212,29 +252,72 @@ class Gateway:
             in_flight += 1
             for request in pending:
                 request.swap_marked = True
+            if hub.enabled:
+                hub.emit(
+                    self.engine.now,
+                    "gateway",
+                    "swap_promote",
+                    function,
+                    parked=len(pending),
+                )
 
     def _drain_pending(self, function: str) -> None:
         pending = self._pending[function]
+        hub = self.engine.hub
         while pending and any(r.accepting for r in self._replicas[function]):
             request = pending.popleft()
             if request.parked_at is not None:
                 waited = self.engine.now - request.parked_at
+                attributed = "swap" if request.swap_marked else "cold"
                 if request.swap_marked:
                     request.swap_wait += waited
                     request.swap_marked = False
                 else:
                     request.cold_wait += waited
                 request.parked_at = None
+                if hub.enabled:
+                    hub.emit(
+                        self.engine.now,
+                        "gateway",
+                        "unpark",
+                        function,
+                        rid=request.request_id,
+                        waited_s=waited,
+                        attributed=attributed,
+                    )
             self._route(request)
 
     def reroute(self, requests: _t.Iterable[Request]) -> None:
         """Re-admit requests a draining/killed replica could not finish."""
+        hub = self.engine.hub
         for request in requests:
             request.start = None
             request.replica_id = None
+            if hub.enabled:
+                hub.emit(
+                    self.engine.now,
+                    "gateway",
+                    "reroute",
+                    request.function,
+                    rid=request.request_id,
+                )
             self._route(request)
 
     def complete(self, request: Request) -> None:
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "gateway",
+                "complete",
+                request.function,
+                rid=request.request_id,
+                arrival=request.arrival,
+                start=request.start,
+                replica=request.replica_id,
+                cold_wait_s=request.cold_wait,
+                swap_wait_s=request.swap_wait,
+            )
         self.log.note_completed(request)
         if request.done_event is not None and not request.done_event.triggered:
             request.done_event.succeed(request)

@@ -163,12 +163,32 @@ class FunctionReplica:
             self.pod.transition(PodPhase.RUNNING)
             self.ready = True
             self.started_at = self.engine.now
+            hub = self.engine.hub
+            if hub.enabled:
+                hub.emit(
+                    self.engine.now,
+                    "replica",
+                    "ready",
+                    self.function.name,
+                    replica=self.replica_id,
+                    swapped_in=self.swapped_in,
+                    promoted=self.promoted_at is not None,
+                )
             self.gateway.replica_ready(self)
             while True:
                 request = _t.cast(Request, (yield self.queue.get()))
                 self.in_flight = request
                 request.start = self.engine.now
                 request.replica_id = self.replica_id
+                if hub.enabled:
+                    hub.emit(
+                        self.engine.now,
+                        "replica",
+                        "service_start",
+                        request.function,
+                        rid=request.request_id,
+                        replica=self.replica_id,
+                    )
                 plan = model.make_plan(
                     self.partition, self.rng,
                     gpu_factor=getattr(self.container, "speed_factor", 1.0),

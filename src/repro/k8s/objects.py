@@ -17,6 +17,18 @@ import itertools
 
 _uid_counter = itertools.count(1)
 
+#: Optional observer invoked on every pod phase transition as
+#: ``observer(pod, from_phase, to_phase, cost)``.  The scenario runner
+#: installs one to mirror the PR 7 transition history onto the telemetry
+#: hub (timestamped there — the per-pod history itself stays clock-free).
+_transition_observer = None
+
+
+def set_transition_observer(observer) -> None:
+    """Install (or, with ``None``, remove) the global transition observer."""
+    global _transition_observer
+    _transition_observer = observer
+
 
 class PodPhase(enum.Enum):
     """Pod lifecycle phases (Kubernetes semantics + the memory-tier extensions).
@@ -62,8 +74,11 @@ class PodPhase(enum.Enum):
             raise ValueError(f"{pod.pod_id}: illegal transition {pod.phase} -> {phase}")
         if cost < 0:
             raise ValueError(f"{pod.pod_id}: negative transition cost {cost}")
-        pod.transitions.append((pod.phase, phase, cost))
+        previous = pod.phase
+        pod.transitions.append((previous, phase, cost))
         pod.phase = phase
+        if _transition_observer is not None:
+            _transition_observer(pod, previous, phase, cost)
 
 
 #: The authoritative pod state machine.  Key properties (property-tested in

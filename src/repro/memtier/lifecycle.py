@@ -126,6 +126,18 @@ class ReplicaLifecycle:
                 pass
         self.demotions += 1
         self.demotions_by_function[function] += 1
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "memtier",
+                "demote",
+                function,
+                pod=pod_id,
+                node=node.name,
+                weights_mb=weights,
+                fabric_active=node.fabric.active_count,
+            )
         return process
 
     def promote(
@@ -179,12 +191,13 @@ class ReplicaLifecycle:
                 pod_id, pod.node_name, width, pod.spec.sm_partition, target=choice[1]
             )
         weights = controller.function.swap_weights_mb()
+        estimate_s = node.fabric.estimate_s(weights)
         try:
             replica = controller.restore(
                 pod_id,
                 swap_in_mb=weights,
                 warm=warm,
-                cost_s=node.fabric.estimate_s(weights),
+                cost_s=estimate_s,
             )
         except Exception:
             if self.placement is not None:
@@ -196,6 +209,21 @@ class ReplicaLifecycle:
         replica.swap_demand = demand
         self.promotions += 1
         self.promotions_by_function[function] += 1
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "memtier",
+                "promote",
+                function,
+                pod=pod_id,
+                node=pod.node_name,
+                weights_mb=weights,
+                fabric_active=node.fabric.active_count,
+                estimate_s=estimate_s,
+                warm=warm,
+                demand=demand,
+            )
         return replica.pod
 
     def evict(self, function: str, pod_id: str) -> bool:
@@ -208,9 +236,20 @@ class ReplicaLifecycle:
         pod = controller.parked.get(pod_id)
         if pod is None or pod.phase is not PodPhase.HOST_RESIDENT:
             return False
+        node_name = pod.node_name
         controller.evict_parked(pod_id)
         self.evictions += 1
         self.evictions_by_function[function] += 1
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "memtier",
+                "evict",
+                function,
+                pod=pod_id,
+                node=node_name,
+            )
         return True
 
     def evict_all(self) -> int:

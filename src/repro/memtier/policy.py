@@ -36,18 +36,33 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class DemoteAction:
-    """Park this WARM_IDLE pod's weights in host RAM (``demote``)."""
+    """Park this WARM_IDLE pod's weights in host RAM (``demote``).
+
+    ``forecast_gap_s``/``swap_in_s`` carry the decision context (predicted
+    gap to next activity, swap-in estimate at decision time) into the
+    telemetry audit trail — ``repro explain`` compares the forecast gap the
+    demotion was taken on against the gap that actually happened.
+    """
 
     function: str
     pod_id: str
     reason: str
+    forecast_gap_s: float | None = None
+    swap_in_s: float | None = None
 
     def apply(self, autoscaler: "PredictiveAutoscaler") -> None:
         lifecycle = autoscaler.lifecycle
         if lifecycle is None:
             return
         if lifecycle.demote(self.function, self.pod_id) is not None:
-            autoscaler.note_event("demote", self.function, self.reason)
+            autoscaler.note_event(
+                "demote",
+                self.function,
+                self.reason,
+                pod=self.pod_id,
+                forecast_gap_s=self.forecast_gap_s,
+                swap_in_s=self.swap_in_s,
+            )
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -60,6 +75,7 @@ class PromoteAction:
     pod_id: str | None
     reason: str
     warm: bool = True
+    swap_in_s: float | None = None
 
     def apply(self, autoscaler: "PredictiveAutoscaler") -> None:
         lifecycle = autoscaler.lifecycle
@@ -67,7 +83,13 @@ class PromoteAction:
             return
         pod = lifecycle.promote(self.function, self.pod_id, warm=self.warm)
         action = "swapin" if pod is not None else "swapin-nofit"
-        autoscaler.note_event(action, self.function, self.reason)
+        autoscaler.note_event(
+            action,
+            self.function,
+            self.reason,
+            pod=pod.pod_id if pod is not None else self.pod_id,
+            swap_in_s=self.swap_in_s,
+        )
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -77,13 +99,20 @@ class EvictAction:
     function: str
     pod_id: str
     reason: str
+    idle_s: float | None = None
 
     def apply(self, autoscaler: "PredictiveAutoscaler") -> None:
         lifecycle = autoscaler.lifecycle
         if lifecycle is None:
             return
         if lifecycle.evict(self.function, self.pod_id):
-            autoscaler.note_event("evict-host", self.function, self.reason)
+            autoscaler.note_event(
+                "evict-host",
+                self.function,
+                self.reason,
+                pod=self.pod_id,
+                idle_s=self.idle_s,
+            )
 
 
 class MemTierPolicy(PreWarmPolicy):
@@ -163,6 +192,9 @@ class MemTierPolicy(PreWarmPolicy):
         demotes = 0
         promote_budget = view.parked
         demoted_ids: set[str] = set()
+        forecast_gap = (
+            view.next_active - now if view.next_active is not None else None
+        )
 
         for action in base:
             if (
@@ -172,7 +204,15 @@ class MemTierPolicy(PreWarmPolicy):
             ):
                 # Park instead of tearing down: the host copy keeps the next
                 # activation at swap-in cost instead of a full cold start.
-                out.append(DemoteAction(name, action.pod_id, reason="park-host"))
+                out.append(
+                    DemoteAction(
+                        name,
+                        action.pod_id,
+                        reason="park-host",
+                        forecast_gap_s=forecast_gap,
+                        swap_in_s=view.swap_in_s,
+                    )
+                )
                 demoted_ids.add(action.pod_id)
                 demotes += 1
                 continue
@@ -184,7 +224,15 @@ class MemTierPolicy(PreWarmPolicy):
                 if promote_budget > 0:
                     # A parked pod beats a fresh cold pre-warm: same warm
                     # outcome for a fabric transfer instead of a full load.
-                    out.append(PromoteAction(name, None, reason=action.reason, warm=True))
+                    out.append(
+                        PromoteAction(
+                            name,
+                            None,
+                            reason=action.reason,
+                            warm=True,
+                            swap_in_s=view.swap_in_s,
+                        )
+                    )
                     promote_budget -= 1
                     continue
             out.append(action)
@@ -208,7 +256,15 @@ class MemTierPolicy(PreWarmPolicy):
                     continue
                 if any(isinstance(a, RetireAction) and a.pod_id == pod_id for a in out):
                     continue
-                out.append(DemoteAction(name, pod_id, reason="long-gap"))
+                out.append(
+                    DemoteAction(
+                        name,
+                        pod_id,
+                        reason="long-gap",
+                        forecast_gap_s=forecast_gap,
+                        swap_in_s=view.swap_in_s,
+                    )
+                )
                 demoted_ids.add(pod_id)
                 demotes += 1
 
@@ -221,7 +277,12 @@ class MemTierPolicy(PreWarmPolicy):
 
         if view.parked > 0 and self._host_expired(now, view) and not activity_soon:
             # The never-coming-back tail: free the host RAM too.
+            idle_s = now - view.last_arrival if view.last_arrival is not None else None
             for pod_id in view.parked_pod_ids:
-                out.append(EvictAction(name, pod_id, reason="host-keepalive-expired"))
+                out.append(
+                    EvictAction(
+                        name, pod_id, reason="host-keepalive-expired", idle_s=idle_s
+                    )
+                )
 
         return out

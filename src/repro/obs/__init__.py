@@ -1,0 +1,49 @@
+"""Observability: telemetry hub, request spans, metrics, and ``explain``.
+
+The deterministic telemetry layer (off by default, zero-cost when
+disabled): every subsystem emits structured events to one
+:class:`~repro.obs.hub.TelemetryHub` per engine; :mod:`repro.obs.spans`
+reconstructs per-request spans (Chrome-trace exportable, Perfetto-viewable),
+:mod:`repro.obs.metrics` derives the event-exact metrics registry (with a
+Prometheus text writer), and :mod:`repro.obs.explain` reconstructs the
+causal chains behind the worst SLO violations from a saved report.
+"""
+
+from repro.obs.explain import (
+    ExplainError,
+    Violation,
+    explain_report,
+    rank_violations,
+)
+from repro.obs.hub import TelemetryEvent, TelemetryHub
+from repro.obs.metrics import (
+    MetricsRegistry,
+    build_registry,
+    validate_prometheus_text,
+)
+from repro.obs.spans import (
+    RequestSpan,
+    assemble_spans,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+#: Format tag written into serialized telemetry blocks.
+TELEMETRY_FORMAT = "repro-telemetry/1"
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "TelemetryEvent",
+    "TelemetryHub",
+    "RequestSpan",
+    "assemble_spans",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "MetricsRegistry",
+    "build_registry",
+    "validate_prometheus_text",
+    "ExplainError",
+    "Violation",
+    "explain_report",
+    "rank_violations",
+]

@@ -1,0 +1,346 @@
+"""Event-exact metrics registry and Prometheus text snapshot writer.
+
+The registry is not sampled: it is *constructed* from the telemetry hub's
+event stream and the assembled request spans after a run, so every counter
+equals an exact event count and every histogram bucket an exact request
+count — re-running the same scenario yields a byte-identical snapshot.
+
+:func:`build_registry` derives the standard metric families (requests,
+wait/latency histograms per function, scheduler/autoscaler/memtier decision
+counters, per-node placement-reject reasons, pod transitions);
+:meth:`MetricsRegistry.to_prometheus_text` renders the exposition-format
+snapshot and :func:`validate_prometheus_text` is the schema check CI and
+tests share.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import TelemetryEvent
+    from repro.obs.spans import RequestSpan
+
+#: Histogram bucket upper bounds (milliseconds) for latency/wait families.
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _labelkey(labels: _t.Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by (name, sorted labels)."""
+
+    __slots__ = ("counters", "gauges", "histograms", "buckets_ms", "help")
+
+    def __init__(self, buckets_ms: _t.Sequence[float] = DEFAULT_BUCKETS_MS):
+        self.counters: dict[str, dict[_LabelKey, float]] = {}
+        self.gauges: dict[str, dict[_LabelKey, float]] = {}
+        # histogram cell: {"buckets": [count per bound], "sum": s, "count": n}
+        self.histograms: dict[str, dict[_LabelKey, dict]] = {}
+        self.buckets_ms = tuple(buckets_ms)
+        self.help: dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        self.help[name] = help_text
+
+    def counter(self, name: str, value: float = 1.0, **labels: str) -> None:
+        cells = self.counters.setdefault(name, {})
+        key = _labelkey(labels)
+        cells[key] = cells.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        self.gauges.setdefault(name, {})[_labelkey(labels)] = value
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        cells = self.histograms.setdefault(name, {})
+        key = _labelkey(labels)
+        cell = cells.get(key)
+        if cell is None:
+            cell = cells[key] = {
+                "buckets": [0] * len(self.buckets_ms),
+                "sum": 0.0,
+                "count": 0,
+            }
+        for index, bound in enumerate(self.buckets_ms):
+            if value <= bound:
+                cell["buckets"][index] += 1
+        cell["sum"] += value
+        cell["count"] += 1
+
+    # -- snapshots -----------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready snapshot (sorted names and label sets)."""
+
+        def flat(cells: _t.Mapping[_LabelKey, float]) -> list[dict]:
+            return [
+                {"labels": dict(key), "value": cells[key]}
+                for key in sorted(cells)
+            ]
+
+        payload: dict[str, object] = {
+            "counters": {name: flat(self.counters[name]) for name in sorted(self.counters)},
+            "gauges": {name: flat(self.gauges[name]) for name in sorted(self.gauges)},
+        }
+        histograms: dict[str, list[dict]] = {}
+        for name in sorted(self.histograms):
+            cells = self.histograms[name]
+            histograms[name] = [
+                {
+                    "labels": dict(key),
+                    "buckets_ms": list(self.buckets_ms),
+                    "bucket_counts": list(cells[key]["buckets"]),
+                    "sum": cells[key]["sum"],
+                    "count": cells[key]["count"],
+                }
+                for key in sorted(cells)
+            ]
+        payload["histograms"] = histograms
+        return payload
+
+    def to_prometheus_text(self) -> str:
+        """Render the snapshot in Prometheus text exposition format."""
+        lines: list[str] = []
+
+        def labelstr(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+            pairs = key + extra
+            if not pairs:
+                return ""
+            body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+            return "{" + body + "}"
+
+        def header(name: str, kind: str) -> None:
+            help_text = self.help.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for name in sorted(self.counters):
+            header(name, "counter")
+            for key in sorted(self.counters[name]):
+                lines.append(f"{name}{labelstr(key)} {_fmt(self.counters[name][key])}")
+        for name in sorted(self.gauges):
+            header(name, "gauge")
+            for key in sorted(self.gauges[name]):
+                lines.append(f"{name}{labelstr(key)} {_fmt(self.gauges[name][key])}")
+        for name in sorted(self.histograms):
+            header(name, "histogram")
+            for key in sorted(self.histograms[name]):
+                cell = self.histograms[name][key]
+                for bound, count in zip(self.buckets_ms, cell["buckets"]):
+                    le = (("le", _fmt(bound)),)
+                    lines.append(f"{name}_bucket{labelstr(key, le)} {count}")
+                inf = (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{labelstr(key, inf)} {cell['count']}")
+                lines.append(f"{name}_sum{labelstr(key)} {_fmt(cell['sum'])}")
+                lines.append(f"{name}_count{labelstr(key)} {cell['count']}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: _t.Mapping) -> "MetricsRegistry":
+        registry = cls()
+        for name, cells in payload.get("counters", {}).items():
+            for cell in cells:
+                registry.counter(name, cell["value"], **cell.get("labels", {}))
+        for name, cells in payload.get("gauges", {}).items():
+            for cell in cells:
+                registry.gauge(name, cell["value"], **cell.get("labels", {}))
+        for name, cells in payload.get("histograms", {}).items():
+            for cell in cells:
+                key = _labelkey(cell.get("labels", {}))
+                registry.buckets_ms = tuple(cell["buckets_ms"])
+                registry.histograms.setdefault(name, {})[key] = {
+                    "buckets": list(cell["bucket_counts"]),
+                    "sum": cell["sum"],
+                    "count": cell["count"],
+                }
+        return registry
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def build_registry(
+    events: _t.Iterable["TelemetryEvent"],
+    spans: _t.Iterable["RequestSpan"],
+    dropped: int = 0,
+) -> MetricsRegistry:
+    """Derive the standard metric families from one run's telemetry."""
+    registry = MetricsRegistry()
+    registry.describe("repro_requests_total", "Requests submitted to the gateway.")
+    registry.describe("repro_requests_completed_total", "Requests served to completion.")
+    registry.describe("repro_requests_unserved_total", "Requests never served in-window.")
+    registry.describe("repro_request_latency_ms", "End-to-end request latency.")
+    registry.describe("repro_request_cold_wait_ms", "Wait parked with no accepting replica.")
+    registry.describe("repro_request_swap_wait_ms", "Wait parked behind a host-to-GPU swap-in.")
+    registry.describe("repro_request_queue_wait_ms", "Wait queued on an accepting replica.")
+    registry.describe("repro_scheduler_events_total", "Scheduler placement decisions by action.")
+    registry.describe("repro_placement_rejects_total", "Per-node placement rejections by reason.")
+    registry.describe("repro_autoscaler_events_total", "Autoscaler decisions by action and reason.")
+    registry.describe("repro_memtier_events_total", "Memory-tier lifecycle operations.")
+    registry.describe("repro_pod_transitions_total", "Pod phase transitions.")
+    registry.describe("repro_telemetry_events", "Telemetry events recorded this run.")
+    registry.describe("repro_telemetry_dropped", "Telemetry events dropped at the cap.")
+
+    n_events = 0
+    for event in events:
+        n_events += 1
+        fn = event.function
+        if event.source == "scheduler":
+            registry.counter("repro_scheduler_events_total", action=event.kind)
+            if event.kind == "nofit":
+                for reject in _t.cast(
+                    _t.Sequence[_t.Mapping], event.payload.get("rejects", ())
+                ):
+                    registry.counter(
+                        "repro_placement_rejects_total",
+                        node=str(reject.get("node", "")),
+                        reason=str(reject.get("reason", "")),
+                    )
+        elif event.source == "autoscaler" and event.kind != "tick":
+            labels = {"action": event.kind}
+            if event.payload.get("reason") is not None:
+                labels["reason"] = str(event.payload["reason"])
+            if fn is not None:
+                labels["function"] = fn
+            registry.counter("repro_autoscaler_events_total", **labels)
+        elif event.source == "memtier":
+            labels = {"op": event.kind}
+            if fn is not None:
+                labels["function"] = fn
+            registry.counter("repro_memtier_events_total", **labels)
+        elif event.source == "pod" and event.kind == "transition":
+            registry.counter(
+                "repro_pod_transitions_total",
+                phase_from=str(event.payload.get("from", "")),
+                phase_to=str(event.payload.get("to", "")),
+            )
+    registry.gauge("repro_telemetry_events", float(n_events))
+    registry.gauge("repro_telemetry_dropped", float(dropped))
+
+    for span in spans:
+        fn = span.function
+        registry.counter("repro_requests_total", function=fn)
+        if span.completed:
+            registry.counter("repro_requests_completed_total", function=fn)
+        elif span.start is None:
+            registry.counter("repro_requests_unserved_total", function=fn)
+        if span.latency_ms is not None:
+            registry.observe("repro_request_latency_ms", span.latency_ms, function=fn)
+        if span.completed:
+            registry.observe(
+                "repro_request_cold_wait_ms", 1000.0 * span.cold_wait_s, function=fn
+            )
+            registry.observe(
+                "repro_request_swap_wait_ms", 1000.0 * span.swap_wait_s, function=fn
+            )
+            registry.observe(
+                "repro_request_queue_wait_ms", 1000.0 * span.queue_wait_s, function=fn
+            )
+    return registry
+
+
+# -- Prometheus text validation ----------------------------------------------
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>\S+)$"
+)
+_LABELS_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Schema-check a Prometheus text-format snapshot; raises ``ValueError``.
+
+    Checks: every non-comment line is ``name[{labels}] value`` with a legal
+    metric name, well-formed label pairs, and a parseable value; every
+    sample's base family was declared by a preceding ``# TYPE`` line.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("prometheus: snapshot must end with a newline")
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                if not _NAME_RE.fullmatch(parts[2]):
+                    raise ValueError(f"line {lineno}: bad metric name {parts[2]!r}")
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        raise ValueError(f"line {lineno}: bad TYPE declaration")
+                    typed.add(parts[2])
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a valid sample line: {line!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_labels(labels[1:-1]):
+                if not _LABELS_RE.fullmatch(pair):
+                    raise ValueError(f"line {lineno}: bad label pair {pair!r}")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                raise ValueError(f"line {lineno}: bad sample value {value!r}") from None
+        name = match.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} missing # TYPE declaration")
+
+
+def _split_labels(body: str) -> list[str]:
+    """Split a label body on commas that are outside quoted values."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quote = False
+    escaped = False
+    for char in body:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quote = not in_quote
+            current.append(char)
+            continue
+        if char == "," and not in_quote:
+            pairs.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs

@@ -106,6 +106,11 @@ class ScenarioReport:
     swap_promotions: int = 0
     demotions: int = 0
     host_evictions: int = 0
+    #: optional observability block (events/spans/metrics snapshots from
+    #: :mod:`repro.obs`); ``None`` — and absent from the serialization —
+    #: unless the run recorded telemetry, so telemetry-off reports stay
+    #: byte-identical to older baselines.
+    telemetry: dict | None = None
 
     def function(self, name: str) -> FunctionOutcome:
         for outcome in self.functions:
@@ -119,7 +124,7 @@ class ScenarioReport:
 
     # -- serialization ----------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "benchmark": "scenario",
             "format": REPORT_FORMAT,
             "quick": self.quick,
@@ -153,6 +158,9 @@ class ScenarioReport:
             },
             "events": self._events_dict(),
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
     def _events_dict(self) -> dict:
         events = {

@@ -17,7 +17,9 @@ import typing as _t
 from repro.faas.loadgen import OpenLoopGenerator
 from repro.faas.traces import FunctionTrace, load_trace_file, synthesize_trace
 from repro.faas.workload import ConstantRate, PoissonRate, StepTrace, Workload
+from repro.k8s.objects import set_transition_observer
 from repro.models import MODEL_ZOO
+from repro.obs import TELEMETRY_FORMAT, assemble_spans, build_registry
 from repro.profiler.database import ProfileDatabase
 from repro.scenario.report import FunctionOutcome, ScenarioReport, UtilizationSample
 from repro.scenario.spec import Scenario, ScenarioError, ScenarioFunction
@@ -153,10 +155,45 @@ def _deploy_static(platform: "FaSTGShare", scenario: Scenario) -> None:
 
 
 def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
-    """Serve, measure, and report one scenario (see module docstring)."""
+    """Serve, measure, and report one scenario (see module docstring).
+
+    ``measurement.telemetry: true`` enables the platform engine's telemetry
+    hub for the whole run (deployment and warm-up included, so causal chains
+    reach decisions made before the measured window) and attaches the event
+    stream, per-request spans, and the event-exact metrics snapshot as the
+    report's ``telemetry`` block.
+    """
     if quick:
         scenario = scenario.quick()
     platform = build_platform(scenario)
+    observing = scenario.measurement.telemetry
+    if observing:
+        engine = platform.engine
+        hub = engine.hub
+        hub.enabled = True
+
+        def observe_transition(pod, previous, phase, cost) -> None:
+            hub.emit(
+                engine.now,
+                "pod",
+                "transition",
+                pod.spec.function_name,
+                pod=pod.pod_id,
+                **{"from": previous.value, "to": phase.value},
+                cost_s=cost,
+            )
+
+        set_transition_observer(observe_transition)
+    try:
+        return _execute(scenario, quick, platform)
+    finally:
+        if observing:
+            set_transition_observer(None)
+
+
+def _execute(
+    scenario: Scenario, quick: bool, platform: "FaSTGShare"
+) -> ScenarioReport:
     engine = platform.engine
     auto = scenario.autoscaler
 
@@ -323,6 +360,21 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
     else:
         swap_promotions = demotions = host_evictions = 0
 
+    telemetry_block = None
+    if scenario.measurement.telemetry:
+        hub = engine.hub
+        spans = assemble_spans(hub.events)
+        registry = build_registry(hub.events, spans, dropped=hub.dropped)
+        telemetry_block = {
+            "format": TELEMETRY_FORMAT,
+            "t0": t0,
+            "end": end,
+            "dropped": hub.dropped,
+            "events": [event.to_dict() for event in hub.events],
+            "spans": [span.to_dict() for span in spans],
+            "metrics": registry.to_dict(),
+        }
+
     return ScenarioReport(
         scenario=scenario,
         quick=quick,
@@ -359,4 +411,5 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
         swap_promotions=swap_promotions,
         demotions=demotions,
         host_evictions=host_evictions,
+        telemetry=telemetry_block,
     )

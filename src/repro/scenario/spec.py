@@ -512,11 +512,18 @@ class AutoscalerSpec:
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class MeasurementSpec:
-    """The measured window: optional warm-up, post-horizon drain, sampling."""
+    """The measured window: optional warm-up, post-horizon drain, sampling.
+
+    ``telemetry: true`` additionally records the run's structured event
+    stream (:mod:`repro.obs`) and attaches spans + metrics as an optional
+    ``telemetry`` block on the report.  Off by default and zero-cost when
+    off, so telemetry-off reports stay byte-identical to older baselines.
+    """
 
     warmup_s: float = 0.0
     drain_s: float = 2.0
     sample_dt: float = 1.0
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup_s < 0:
@@ -529,7 +536,7 @@ class MeasurementSpec:
     def to_dict(self) -> dict:
         payload: dict[str, _t.Any] = {}
         defaults = MeasurementSpec()
-        for field in ("warmup_s", "drain_s", "sample_dt"):
+        for field in ("warmup_s", "drain_s", "sample_dt", "telemetry"):
             value = getattr(self, field)
             if value != getattr(defaults, field):
                 payload[field] = value
@@ -542,6 +549,11 @@ class MeasurementSpec:
         for field in ("warmup_s", "drain_s", "sample_dt"):
             if field in data:
                 kwargs[field] = _number(data.pop(field), f"{path}.{field}")
+        if "telemetry" in data:
+            value = data.pop("telemetry")
+            if not isinstance(value, bool):
+                raise ScenarioError(f"{path}.telemetry: expected true/false")
+            kwargs["telemetry"] = value
         _reject_unknown(data, path)
         return cls(**kwargs)
 

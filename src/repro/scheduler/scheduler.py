@@ -202,6 +202,42 @@ class FaSTScheduler:
 
         return allowed
 
+    def _note(self, event: SchedulerEvent, **extra) -> None:
+        """Record a scaling decision (and mirror it onto the telemetry hub)."""
+        self.events.append(event)
+        hub = self.engine.hub
+        if hub.enabled:
+            payload: dict[str, object] = {
+                "sm": event.sm_partition,
+                "quota": event.quota,
+            }
+            if event.node is not None:
+                payload["node"] = event.node
+            payload.update(extra)
+            hub.emit(event.time, "scheduler", event.action, event.function, **payload)
+
+    def _reject_reasons(
+        self, controller: FaSTPodController, sm_partition: float, quota_limit: float
+    ) -> list[dict]:
+        """Why each node rejected a placement that just raised NoFitError.
+
+        ``no-gpu-memory``: the memory-feasibility probe failed;
+        ``fragmented``: enough free SM×quota area, but no single maximal
+        rectangle holds the pod; ``no-capacity``: not enough free area at all.
+        """
+        width = quota_limit * 100.0
+        probe = self._memory_probe(controller)
+        rejects = []
+        for node_name, gpu in self.placement.gpus.items():
+            if not probe(node_name):
+                reason = "no-gpu-memory"
+            elif gpu.free_area() >= width * sm_partition:
+                reason = "fragmented"
+            else:
+                reason = "no-capacity"
+            rejects.append({"node": node_name, "reason": reason})
+        return rejects
+
     # -- the control loop -----------------------------------------------------------
     def _tick(self) -> None:
         now = self.engine.now
@@ -275,10 +311,11 @@ class FaSTScheduler:
         warm = self.gateway.claim_warm(action.function)
         if warm is not None:
             self._last_scale_up[action.function] = self.engine.now
-            self.events.append(
+            self._note(
                 SchedulerEvent(self.engine.now, action.function, "promote",
                                warm.pod.spec.sm_partition, warm.pod.spec.quota_limit,
-                               warm.pod.node_name)
+                               warm.pod.node_name),
+                pod=warm.pod.pod_id,
             )
             return
         # Next-best: a HOST_RESIDENT pod — a fabric swap-in instead of a
@@ -287,10 +324,11 @@ class FaSTScheduler:
             pod = self.lifecycle.promote(action.function)
             if pod is not None:
                 self._last_scale_up[action.function] = self.engine.now
-                self.events.append(
+                self._note(
                     SchedulerEvent(self.engine.now, action.function, "swapin",
                                    pod.spec.sm_partition, pod.spec.quota_limit,
-                                   pod.node_name)
+                                   pod.node_name),
+                    pod=pod.pod_id,
                 )
                 return
         try:
@@ -298,16 +336,24 @@ class FaSTScheduler:
             # [Q, Q] matches the profiling convention the throughputs assume.
             replica = self.place_pod(controller, action.sm_partition, action.quota, action.quota)
         except NoFitError:
-            self.events.append(
-                SchedulerEvent(self.engine.now, action.function, "nofit",
-                               action.sm_partition, action.quota, None)
-            )
+            event = SchedulerEvent(self.engine.now, action.function, "nofit",
+                                   action.sm_partition, action.quota, None)
+            if self.engine.hub.enabled:
+                self._note(
+                    event,
+                    rejects=self._reject_reasons(
+                        controller, action.sm_partition, action.quota
+                    ),
+                )
+            else:
+                self._note(event)
             return
         self._last_scale_up[action.function] = self.engine.now
-        self.events.append(
+        self._note(
             SchedulerEvent(self.engine.now, action.function, "up",
                            action.sm_partition, action.quota,
                            replica.pod.node_name),
+            pod=replica.pod.pod_id,
         )
 
     def _apply_down(self, action: ScaleDownAction) -> None:
@@ -320,8 +366,9 @@ class FaSTScheduler:
             self.placement.unbind(action.pod_id)
         except KeyError:
             pass
-        self.events.append(
-            SchedulerEvent(self.engine.now, action.function, "down", 0.0, 0.0, node)
+        self._note(
+            SchedulerEvent(self.engine.now, action.function, "down", 0.0, 0.0, node),
+            pod=action.pod_id,
         )
 
     def _throughput_of(self, function: str, sm: float, quota: float,

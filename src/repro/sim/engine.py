@@ -29,6 +29,7 @@ import itertools
 import math
 import typing as _t
 
+from repro.obs.hub import TelemetryHub
 from repro.sim.errors import ScheduleInPastError, SimulationError
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
@@ -80,8 +81,20 @@ class Engine:
         derives an independent stream from it so simulations are bit-exactly
         reproducible.
     trace:
-        When true, keep a :class:`~repro.sim.tracing.TraceLog` of scheduler
-        activity (costly; off by default).
+        When true, enable the engine-timer trace channel: every
+        ``schedule``/``schedule_at`` is recorded in :attr:`trace` (costly;
+        off by default).
+
+    Attributes
+    ----------
+    hub:
+        The run's :class:`~repro.obs.hub.TelemetryHub` — the single event
+        stream all subsystems (gateway, scheduler, autoscaler, memory tier,
+        pod lifecycle) emit structured telemetry to.  Disabled by default;
+        scenario runs flip ``hub.enabled`` when measurement telemetry is on.
+    trace:
+        The hub's engine-timer channel (:class:`~repro.sim.tracing.TraceLog`),
+        gated separately so scenario telemetry does not drown in timer events.
     """
 
     def __init__(self, seed: int = 0, trace: bool = False):
@@ -92,7 +105,8 @@ class Engine:
         #: Cancelled-but-not-yet-popped entries currently in the heap.
         self._dead = 0
         self.rng = RngStreams(seed)
-        self.trace = TraceLog(enabled=trace)
+        self.hub = TelemetryHub(enabled=trace)
+        self.trace = TraceLog(enabled=trace, hub=self.hub)
         self._processes_started = 0
 
     # -- clock -------------------------------------------------------------
@@ -120,6 +134,14 @@ class Engine:
         handle = Handle(time, next(self._seq), callback, args)
         handle._engine = self
         heapq.heappush(heap, handle)
+        if self.trace.enabled:
+            self.trace.emit(
+                self._now,
+                "engine",
+                "schedule",
+                at=time,
+                callback=getattr(callback, "__qualname__", repr(callback)),
+            )
         return handle
 
     def _compact(self) -> None:

@@ -1,9 +1,23 @@
-"""Lightweight structured trace log for debugging simulations."""
+"""Engine-timer trace channel — a thin view over the telemetry hub.
+
+Historically ``TraceLog`` was a standalone ring buffer wired to nothing;
+it is now an adapter over :class:`repro.obs.hub.TelemetryHub` (one emitter
+API, one event stream).  The adapter keeps the old call surface
+(``emit(time, component, kind, **payload)``, ``records``, ``filter``) and
+adds what the standalone log lacked: records dropped at the cap are
+**counted** (:attr:`TraceLog.dropped`) instead of silently discarded.
+
+``TraceLog.enabled`` gates only the *engine-timer channel*: when a scenario
+enables hub telemetry, the engine's per-event timer chatter stays off
+unless the engine itself was built with ``trace=True``.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import typing as _t
+
+from repro.obs.hub import TelemetryHub
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -21,31 +35,54 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only trace buffer; disabled by default (zero overhead when off)."""
+    """The hub's engine-timer channel; disabled by default (zero overhead off)."""
 
-    def __init__(self, enabled: bool = False, max_records: int = 1_000_000):
+    __slots__ = ("hub", "enabled")
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_records: int = 1_000_000,
+        hub: TelemetryHub | None = None,
+    ):
+        if hub is None:
+            hub = TelemetryHub(enabled=enabled, max_events=max_records)
+        elif enabled:
+            hub.enabled = True
+        self.hub = hub
         self.enabled = enabled
-        self.max_records = max_records
-        self.records: list[TraceRecord] = []
+
+    @property
+    def max_records(self) -> int:
+        return self.hub.max_events
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded at ``max_records`` (was silent before the hub)."""
+        return self.hub.dropped
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return [
+            TraceRecord(e.time, e.source, e.kind, e.payload) for e in self.hub.events
+        ]
 
     def emit(self, time: float, component: str, kind: str, **payload: object) -> None:
-        if not self.enabled or len(self.records) >= self.max_records:
+        if not self.enabled:
             return
-        self.records.append(TraceRecord(time, component, kind, payload))
+        self.hub.emit(time, component, kind, **payload)
 
-    def filter(self, component: str | None = None, kind: str | None = None) -> list[TraceRecord]:
+    def filter(
+        self, component: str | None = None, kind: str | None = None
+    ) -> list[TraceRecord]:
         """Records matching the given component and/or kind prefixes."""
-        out = []
-        for record in self.records:
-            if component is not None and not record.component.startswith(component):
-                continue
-            if kind is not None and not record.kind.startswith(kind):
-                continue
-            out.append(record)
-        return out
+        return [
+            TraceRecord(e.time, e.source, e.kind, e.payload)
+            for e in self.hub.filter(source=component, kind=kind)
+        ]
 
     def clear(self) -> None:
-        self.records.clear()
+        self.hub.clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.hub.events)

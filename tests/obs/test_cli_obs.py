@@ -1,0 +1,77 @@
+"""CLI surface for observability: scenario exports and `repro explain`."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.__main__ import main
+from repro.obs import validate_chrome_trace, validate_prometheus_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+COLD_BURSTY = str(REPO_ROOT / "examples" / "scenarios" / "cold_bursty.json")
+
+
+def test_scenario_exports_and_explain_round_trip(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    trace_path = tmp_path / "trace.json"
+    prom_path = tmp_path / "metrics.prom"
+    code = main(
+        [
+            "scenario",
+            COLD_BURSTY,
+            "--quick",
+            "--telemetry",
+            "--output",
+            str(report_path),
+            "--trace-out",
+            str(trace_path),
+            "--prom-out",
+            str(prom_path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+
+    report = json.loads(report_path.read_text())
+    assert report["telemetry"]["events"]
+    trace = json.loads(trace_path.read_text())
+    validate_chrome_trace(trace)
+    assert trace["traceEvents"]
+    prom_text = prom_path.read_text()
+    validate_prometheus_text(prom_text)
+    assert "repro_requests_total" in prom_text
+
+    assert main(["explain", str(report_path), "--worst", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "SLO violation" in out
+
+
+def test_trace_out_implies_telemetry(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main(["scenario", COLD_BURSTY, "--quick", "--trace-out", str(trace_path)])
+    assert code == 0
+    capsys.readouterr()
+    validate_chrome_trace(json.loads(trace_path.read_text()))
+
+
+def test_explain_without_telemetry_exits_2(tmp_path, capsys):
+    report_path = tmp_path / "plain.json"
+    assert (
+        main(["scenario", COLD_BURSTY, "--quick", "--output", str(report_path)]) == 0
+    )
+    capsys.readouterr()
+    assert main(["explain", str(report_path)]) == 2
+    err = capsys.readouterr().err
+    assert "telemetry" in err
+
+
+def test_explain_missing_or_malformed_report_exits_2(tmp_path, capsys):
+    assert main(["explain", str(tmp_path / "nope.json")]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert main(["explain", str(bad)]) == 2
+    notdict = tmp_path / "list.json"
+    notdict.write_text("[]")
+    assert main(["explain", str(notdict)]) == 2
+    capsys.readouterr()

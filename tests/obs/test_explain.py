@@ -1,0 +1,139 @@
+"""Explain: violation ranking and causal-chain reconstruction (synthetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ExplainError, explain_report, rank_violations
+
+
+def _report(events, spans, functions) -> dict:
+    return {
+        "scenario": {"name": "synthetic"},
+        "functions": functions,
+        "telemetry": {"format": "repro-telemetry/1", "events": events, "spans": spans},
+    }
+
+
+def _completed_span(rid, latency_s, cold_s, arrival=10.0):
+    return {
+        "request_id": rid,
+        "function": "fn",
+        "arrival": arrival,
+        "start": arrival + cold_s,
+        "end": arrival + latency_s,
+        "completed": True,
+        "cold_wait_s": cold_s,
+    }
+
+
+def test_explain_requires_telemetry_block():
+    with pytest.raises(ExplainError, match="telemetry"):
+        rank_violations({"functions": {}})
+    with pytest.raises(ExplainError, match="spans"):
+        rank_violations({"telemetry": {"events": []}})
+
+
+def test_unknown_function_filter_raises():
+    report = _report([], [_completed_span(1, 2.0, 1.0)], {"fn": {"slo_ms": 100}})
+    with pytest.raises(ExplainError, match="ghost"):
+        rank_violations(report, function="ghost")
+
+
+def test_ranking_never_served_first_then_by_excess():
+    spans = [
+        _completed_span(1, 0.05, 0.0),  # within SLO: not a violation
+        _completed_span(2, 2.0, 1.8),  # +1900 ms
+        _completed_span(3, 1.0, 0.9),  # +900 ms
+        {"request_id": 4, "function": "fn", "arrival": 30.0, "completed": False},
+        {"request_id": 5, "function": "fn", "arrival": 20.0, "completed": False},
+    ]
+    report = _report([], spans, {"fn": {"slo_ms": 100}})
+    violations = rank_violations(report, worst=10)
+    assert [v.span.request_id for v in violations] == [5, 4, 2, 3]
+    assert violations[0].never_served and violations[1].never_served
+    assert violations[2].excess_ms == pytest.approx(1900.0)
+    # worst=N truncates after ranking
+    assert [v.span.request_id for v in rank_violations(report, worst=2)] == [5, 4]
+
+
+def test_causal_chain_names_demotion_forecast_and_rejects():
+    events = [
+        {
+            "time": 2.0,
+            "source": "autoscaler",
+            "kind": "demote",
+            "function": "fn",
+            "payload": {"reason": "warm_gap", "forecast_gap_s": 120.0, "pod": "fn-0"},
+        },
+        {
+            "time": 10.5,
+            "source": "scheduler",
+            "kind": "nofit",
+            "function": "fn",
+            "payload": {
+                "rejects": [
+                    {"node": "node0", "reason": "fragmented"},
+                    {"node": "node1", "reason": "fragmented"},
+                    {"node": "node2", "reason": "no-gpu-memory"},
+                ]
+            },
+        },
+        {
+            "time": 10.2,
+            "source": "gateway",
+            "kind": "park",
+            "function": "fn",
+            "payload": {"rid": 2, "reason": "cold"},
+        },
+        {
+            "time": 11.5,
+            "source": "memtier",
+            "kind": "promote",
+            "function": "fn",
+            "payload": {"pod": "fn-0", "node": "node1", "estimate_s": 1.4, "fabric_active": 2},
+        },
+    ]
+    events.sort(key=lambda e: e["time"])
+    report = _report(events, [_completed_span(2, 2.0, 1.8)], {"fn": {"slo_ms": 100}})
+    (violation,) = rank_violations(report, worst=1)
+    text = "\n".join(violation.causes)
+    assert "demoted the pod to host RAM 8.0s before arrival" in text
+    assert "warm_gap" in text
+    assert "forecast gap 120s, actual gap 8.0s" in text
+    assert "node0, node1: fragmented" in text
+    assert "node2: no-gpu-memory" in text
+    assert "parked at t=10.2s" in text
+    assert "memory tier swapped the pod back in at t=11.5s on node1" in text
+    assert "swap estimate 1.40s, 2 transfers active" in text
+
+
+def test_never_served_chain_is_open_ended():
+    events = [
+        {
+            "time": 21.0,
+            "source": "scheduler",
+            "kind": "nofit",
+            "function": "fn",
+            "payload": {"rejects": [{"node": "node0", "reason": "no-capacity"}]},
+        },
+    ]
+    span = {"request_id": 9, "function": "fn", "arrival": 20.0, "completed": False}
+    report = _report(events, [span], {"fn": {"slo_ms": 100}})
+    (violation,) = rank_violations(report)
+    assert violation.never_served
+    assert any("node0: no-capacity" in c for c in violation.causes)
+    text = explain_report(report)
+    assert "NEVER SERVED" in text
+
+
+def test_explain_report_renders_segments_and_scope():
+    report = _report([], [_completed_span(2, 2.0, 1.8)], {"fn": {"slo_ms": 100}})
+    text = explain_report(report)
+    assert "Worst 1 SLO violation(s)" in text
+    assert "'synthetic'" in text
+    assert "2000 ms vs SLO 100 ms (+1900 ms)" in text
+    assert "cold wait 1800 ms" in text
+    assert "service 200 ms" in text
+    clean = _report([], [_completed_span(1, 0.05, 0.0)], {"fn": {"slo_ms": 100}})
+    assert explain_report(clean) == "No SLO violations recorded."

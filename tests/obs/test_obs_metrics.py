@@ -1,0 +1,153 @@
+"""Metrics registry: event-exact families, Prometheus text, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RequestSpan,
+    TelemetryHub,
+    build_registry,
+    validate_prometheus_text,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", node="n0")
+    registry.counter("hits_total", node="n0")
+    registry.counter("hits_total", node="n1")
+    cells = registry.to_dict()["counters"]["hits_total"]
+    assert cells == [
+        {"labels": {"node": "n0"}, "value": 2.0},
+        {"labels": {"node": "n1"}, "value": 1.0},
+    ]
+
+
+def test_histogram_buckets_are_exact_counts():
+    registry = MetricsRegistry(buckets_ms=(10.0, 100.0))
+    for value in (5.0, 50.0, 500.0):
+        registry.observe("lat_ms", value, function="fn")
+    (cell,) = registry.to_dict()["histograms"]["lat_ms"]
+    assert cell["bucket_counts"] == [1, 2]  # le=10 → 1, le=100 → 2 (cumulative)
+    assert cell["count"] == 3
+    assert cell["sum"] == pytest.approx(555.0)
+
+
+def test_prometheus_text_is_valid_and_deterministic():
+    registry = MetricsRegistry(buckets_ms=(10.0, 100.0))
+    registry.describe("lat_ms", "A latency histogram.")
+    registry.counter("hits_total", node="n1")
+    registry.counter("hits_total", node="n0")
+    registry.gauge("depth", 3.5, queue="q")
+    registry.observe("lat_ms", 42.0, function="fn")
+    text = registry.to_prometheus_text()
+    validate_prometheus_text(text)
+    assert text == registry.to_prometheus_text()  # deterministic
+    assert '# TYPE hits_total counter' in text
+    assert '# HELP lat_ms A latency histogram.' in text
+    assert 'hits_total{node="n0"} 1' in text
+    # label sets render sorted, histograms expose cumulative buckets
+    assert text.index('node="n0"') < text.index('node="n1"')
+    assert 'lat_ms_bucket{function="fn",le="100"} 1' in text
+    assert 'lat_ms_bucket{function="fn",le="+Inf"} 1' in text
+    assert 'lat_ms_sum{function="fn"} 42' in text
+    assert 'lat_ms_count{function="fn"} 1' in text
+
+
+def test_prometheus_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("odd_total", label='quo"te\\slash\nline')
+    text = registry.to_prometheus_text()
+    validate_prometheus_text(text)
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+
+def test_validate_prometheus_text_rejects_malformed_snapshots():
+    with pytest.raises(ValueError):
+        validate_prometheus_text("x_total 1")  # no trailing newline
+    with pytest.raises(ValueError):
+        validate_prometheus_text("x_total 1\n")  # sample without # TYPE
+    with pytest.raises(ValueError):
+        validate_prometheus_text("# TYPE x_total counter\nx_total notanumber\n")
+    with pytest.raises(ValueError):
+        validate_prometheus_text('# TYPE x_total counter\nx_total{bad-label="v"} 1\n')
+    with pytest.raises(ValueError):
+        validate_prometheus_text("# TYPE x_total flavor\nx_total 1\n")
+
+
+def test_registry_dict_round_trip_preserves_prometheus_text():
+    registry = MetricsRegistry(buckets_ms=(10.0, 100.0))
+    registry.counter("hits_total", node="n0", reason="fragmented")
+    registry.gauge("depth", 2.0)
+    registry.observe("lat_ms", 7.0, function="fn")
+    clone = MetricsRegistry.from_dict(registry.to_dict())
+    assert clone.to_dict() == registry.to_dict()
+    # help text is cosmetic and not serialized; sample lines must survive
+    assert clone.to_prometheus_text() == registry.to_prometheus_text()
+
+
+def test_build_registry_derives_event_exact_families():
+    hub = TelemetryHub(enabled=True)
+    hub.emit(1.0, "scheduler", "up", "fn", pod="fn-0", node="node0")
+    hub.emit(
+        2.0,
+        "scheduler",
+        "nofit",
+        "fn",
+        rejects=[
+            {"node": "node0", "reason": "fragmented"},
+            {"node": "node1", "reason": "no-gpu-memory"},
+        ],
+    )
+    hub.emit(3.0, "autoscaler", "demote", "fn", reason="long-gap", pod="fn-0")
+    hub.emit(3.0, "autoscaler", "tick", "fn", inputs={})  # ticks are not counted
+    hub.emit(4.0, "memtier", "promote", "fn", pod="fn-0")
+    hub.emit(5.0, "pod", "transition", "fn", pod="fn-0", **{"from": "parked", "to": "swapping-in"})
+    spans = [
+        RequestSpan(
+            request_id=1,
+            function="fn",
+            arrival=0.0,
+            start=1.0,
+            end=1.2,
+            cold_wait_s=1.0,
+            completed=True,
+        ),
+        RequestSpan(request_id=2, function="fn", arrival=0.5),  # never served
+    ]
+    registry = build_registry(hub.events, spans, dropped=4)
+    snapshot = registry.to_dict()
+
+    def value(family: str, **labels) -> float:
+        for cell in snapshot["counters"][family]:
+            if cell["labels"] == labels:
+                return cell["value"]
+        raise AssertionError(f"no {family} cell with {labels}")
+
+    assert value("repro_scheduler_events_total", action="up") == 1.0
+    assert value("repro_scheduler_events_total", action="nofit") == 1.0
+    assert value("repro_placement_rejects_total", node="node0", reason="fragmented") == 1.0
+    assert value("repro_placement_rejects_total", node="node1", reason="no-gpu-memory") == 1.0
+    assert value(
+        "repro_autoscaler_events_total", action="demote", function="fn", reason="long-gap"
+    ) == 1.0
+    assert value("repro_memtier_events_total", op="promote", function="fn") == 1.0
+    assert value(
+        "repro_pod_transitions_total", phase_from="parked", phase_to="swapping-in"
+    ) == 1.0
+    assert value("repro_requests_total", function="fn") == 2.0
+    assert value("repro_requests_completed_total", function="fn") == 1.0
+    assert value("repro_requests_unserved_total", function="fn") == 1.0
+    gauges = {
+        name: cells[0]["value"] for name, cells in snapshot["gauges"].items()
+    }
+    assert gauges["repro_telemetry_events"] == 6.0
+    assert gauges["repro_telemetry_dropped"] == 4.0
+    # wait histograms only observe completed requests
+    (lat,) = snapshot["histograms"]["repro_request_latency_ms"]
+    assert lat["count"] == 1
+    (cold,) = snapshot["histograms"]["repro_request_cold_wait_ms"]
+    assert cold["sum"] == pytest.approx(1000.0)
+    validate_prometheus_text(registry.to_prometheus_text())

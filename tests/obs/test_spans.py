@@ -1,0 +1,229 @@
+"""Span assembly edge cases and Chrome trace-event export/validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    RequestSpan,
+    TelemetryHub,
+    assemble_spans,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def _hub() -> TelemetryHub:
+    return TelemetryHub(enabled=True)
+
+
+def test_completed_span_uses_authoritative_complete_event():
+    hub = _hub()
+    hub.emit(10.0, "gateway", "arrival", "fn", rid=1)
+    hub.emit(10.0, "gateway", "park", "fn", rid=1, reason="cold")
+    hub.emit(12.0, "replica", "service_start", "fn", rid=1, replica="fn-0")
+    hub.emit(
+        12.5,
+        "gateway",
+        "complete",
+        "fn",
+        rid=1,
+        arrival=10.0,
+        start=12.0,
+        replica="fn-0",
+        cold_wait_s=1.5,
+        swap_wait_s=0.0,
+    )
+    (span,) = assemble_spans(hub.events)
+    assert span.completed
+    assert span.arrival == 10.0
+    assert span.start == 12.0
+    assert span.end == 12.5
+    assert span.replica == "fn-0"
+    assert span.cold_wait_s == 1.5
+    assert span.queue_wait_s == pytest.approx(0.5)
+    assert span.service_s == pytest.approx(0.5)
+    assert span.latency_ms == pytest.approx(2500.0)
+    assert span.park_reasons == ("cold",)
+
+
+def test_never_served_request_yields_open_span():
+    hub = _hub()
+    hub.emit(5.0, "gateway", "arrival", "fn", rid=7)
+    hub.emit(5.0, "gateway", "park", "fn", rid=7, reason="swap")
+    (span,) = assemble_spans(hub.events)
+    assert not span.completed
+    assert span.start is None
+    assert span.end is None
+    assert span.latency_ms is None
+    assert span.service_s is None
+    assert span.queue_wait_s == 0.0
+    assert span.park_reasons == ("swap",)
+
+
+def test_drained_in_flight_request_keeps_service_start_without_completion():
+    hub = _hub()
+    hub.emit(1.0, "gateway", "arrival", "fn", rid=3)
+    hub.emit(2.0, "replica", "service_start", "fn", rid=3, replica="fn-1")
+    (span,) = assemble_spans(hub.events)
+    assert not span.completed
+    assert span.start == 2.0
+    assert span.end is None
+    assert span.replica == "fn-1"
+
+
+def test_warm_promotion_mid_queue_reroute_resets_placement():
+    """A reroute (replica drained mid-queue) resets start/replica; the final
+    complete event carries the wait attribution for the route that served."""
+    hub = _hub()
+    hub.emit(0.0, "gateway", "arrival", "fn", rid=9)
+    hub.emit(0.5, "replica", "service_start", "fn", rid=9, replica="fn-0")
+    hub.emit(1.0, "gateway", "reroute", "fn", rid=9)
+    hub.emit(1.2, "gateway", "park", "fn", rid=9, reason="cold")
+    hub.emit(2.0, "gateway", "unpark", "fn", rid=9, waited_s=0.8, attributed="cold")
+    hub.emit(2.5, "replica", "service_start", "fn", rid=9, replica="fn-1")
+    hub.emit(
+        3.0,
+        "gateway",
+        "complete",
+        "fn",
+        rid=9,
+        arrival=0.0,
+        start=2.5,
+        replica="fn-1",
+        cold_wait_s=0.8,
+        swap_wait_s=0.0,
+    )
+    (span,) = assemble_spans(hub.events)
+    assert span.completed
+    assert span.rerouted == 1
+    assert span.replica == "fn-1"
+    assert span.start == 2.5
+    assert span.cold_wait_s == pytest.approx(0.8)
+    assert span.queue_wait_s == pytest.approx(1.7)
+
+
+def test_rerouted_then_never_served_span_is_open():
+    hub = _hub()
+    hub.emit(0.0, "gateway", "arrival", "fn", rid=2)
+    hub.emit(0.5, "replica", "service_start", "fn", rid=2, replica="fn-0")
+    hub.emit(1.0, "gateway", "reroute", "fn", rid=2)
+    (span,) = assemble_spans(hub.events)
+    assert not span.completed
+    assert span.start is None
+    assert span.replica is None
+    assert span.rerouted == 1
+
+
+def test_events_for_unknown_requests_are_skipped():
+    hub = _hub()
+    # stream opened mid-run: rid 1's arrival predates the stream
+    hub.emit(4.0, "replica", "service_start", "fn", rid=1, replica="fn-0")
+    hub.emit(5.0, "gateway", "arrival", "fn", rid=2)
+    spans = assemble_spans(hub.events)
+    assert [s.request_id for s in spans] == [2]
+
+
+def test_spans_sorted_by_arrival_then_id():
+    hub = _hub()
+    hub.emit(2.0, "gateway", "arrival", "b", rid=5)
+    hub.emit(1.0, "gateway", "arrival", "a", rid=9)
+    hub.emit(2.0, "gateway", "arrival", "a", rid=3)
+    spans = assemble_spans(hub.events)
+    assert [s.request_id for s in spans] == [9, 3, 5]
+
+
+def test_span_dict_round_trip():
+    span = RequestSpan(
+        request_id=4,
+        function="fn",
+        arrival=1.0,
+        start=2.0,
+        end=3.0,
+        replica="fn-0",
+        cold_wait_s=0.5,
+        swap_wait_s=0.25,
+        completed=True,
+        rerouted=2,
+        park_reasons=("cold", "swap"),
+    )
+    clone = RequestSpan.from_dict(span.to_dict())
+    assert clone == span
+    open_span = RequestSpan(request_id=5, function="fn", arrival=1.0)
+    assert RequestSpan.from_dict(open_span.to_dict()) == open_span
+    # absent-when-default keys keep serialized spans minimal
+    assert "start" not in open_span.to_dict()
+    assert "cold_wait_s" not in open_span.to_dict()
+
+
+# -- Chrome trace export ------------------------------------------------------
+
+
+def _completed_span() -> RequestSpan:
+    return RequestSpan(
+        request_id=1,
+        function="fn",
+        arrival=1.0,
+        start=3.0,
+        end=3.5,
+        replica="fn-0",
+        cold_wait_s=1.5,
+        swap_wait_s=0.0,
+        completed=True,
+    )
+
+
+def test_chrome_trace_segments_sum_to_latency():
+    trace = to_chrome_trace([_completed_span()])
+    validate_chrome_trace(trace)
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    # zero-duration swap segment is skipped
+    assert [e["name"] for e in slices] == ["cold_wait", "queue_wait", "service"]
+    assert sum(e["dur"] for e in slices) == 2_500_000  # 2.5 s in µs
+    assert slices[0]["ts"] == 1_000_000
+    # consecutive: each slice starts where the previous ended
+    for prev, cur in zip(slices, slices[1:]):
+        assert cur["ts"] == prev["ts"] + prev["dur"]
+
+
+def test_chrome_trace_process_metadata_per_function():
+    spans = [
+        _completed_span(),
+        RequestSpan(request_id=2, function="other", arrival=0.0),
+    ]
+    trace = to_chrome_trace(spans, clip_s=10.0)
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in meta} == {"fn", "other"}
+    assert len({e["pid"] for e in meta}) == 2
+
+
+def test_chrome_trace_open_spans_clip_to_measurement_end():
+    never = RequestSpan(request_id=3, function="fn", arrival=4.0)
+    draining = RequestSpan(request_id=4, function="fn", arrival=0.0, start=8.0)
+    trace = to_chrome_trace([never, draining], clip_s=10.0)
+    validate_chrome_trace(trace)
+    by_name = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert by_name["unserved_wait"]["dur"] == 6_000_000
+    assert by_name["unserved_wait"]["cat"] == "violation"
+    assert by_name["service (unfinished)"]["dur"] == 2_000_000
+
+
+def test_validate_chrome_trace_rejects_malformed_documents():
+    with pytest.raises(ValueError):
+        validate_chrome_trace([])  # not an object
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": {}})  # not a list
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"name": "x", "pid": 1, "tid": 1}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x", "pid": True, "tid": 1}]}
+        )
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": -1, "dur": 0}
+                ]
+            }
+        )
