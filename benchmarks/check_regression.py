@@ -30,6 +30,15 @@ dispatched on the baseline's ``benchmark`` field:
   its completed-request count drops by more than the tolerance.  Baseline
   and fresh must run the same sweep name/base seed, and every baseline cell
   must still exist in the fresh grid.
+* ``serve`` — the live serving smoke (``BENCH_serve_quick.json`` vs a fresh
+  ``repro replay`` output).  A live run is wall-clock paced, so unlike every
+  other kind it is *not* bit-deterministic: the gate checks robust counters
+  only — the arrival schedule is seed-derived and must match the committed
+  reference (within a small fraction for client-side retries), the completed
+  fraction must stay high, and the SLO-violation ratio must stay under an
+  absolute bound documented in the baseline (the DES ratio plus a generous
+  live-jitter margin).  The fresh report must be a ScenarioReport with
+  ``mode: "live"``.
 * ``swap`` — the memory-tier keep-alive comparison (``BENCH_swap.json``).
   Deterministic replays again: the gate fails when any policy's violation
   rate grows past the tolerance (plus the epsilon), when the ``memtier``
@@ -60,7 +69,8 @@ PREWARM_ABS_EPSILON = 0.005
 
 
 def load_report(
-    path: str, kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep", "swap")
+    path: str,
+    kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep", "swap", "serve"),
 ) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
@@ -283,6 +293,78 @@ def check_swap(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_serve(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Live-serve gate: robust counters of a wall-clock replay vs the baseline.
+
+    ``baseline`` is a committed ``benchmark: "serve"`` gate file carrying the
+    DES reference counters and absolute bounds; ``fresh`` is the live
+    ScenarioReport ``repro replay --output`` wrote (``mode: "live"``).
+    """
+    failures: list[str] = []
+    if fresh.get("mode") != "live":
+        raise ValueError(
+            f"fresh report mode is {fresh.get('mode', 'sim')!r}, want 'live' — "
+            "the serve gate checks a wall-clock replay, not a simulation"
+        )
+    fresh_meta = fresh.get("scenario") or {}
+    base_id = [baseline.get("scenario"), baseline.get("quick")]
+    fresh_id = [fresh_meta.get("name"), fresh.get("quick")]
+    if base_id != fresh_id:
+        raise ValueError(
+            "serve-smoke mismatch: the gate compares replays of the same scenario "
+            f"at the same quick/full horizon — baseline {base_id} vs fresh {fresh_id}"
+        )
+    reference = baseline["reference"]
+    gates = baseline["gates"]
+    submitted = int(fresh["totals"]["submitted"])
+    completed = int(fresh["totals"]["completed"])
+    violation = float(fresh["totals"]["slo_violation_ratio"])
+
+    ref_submitted = int(reference["submitted"])
+    lo = gates["min_submitted_fraction"] * ref_submitted
+    hi = gates["max_submitted_fraction"] * ref_submitted
+    marker = "" if lo <= submitted <= hi else "  [REGRESSION]"
+    print(
+        f"submitted            : reference {ref_submitted:8d}   fresh {submitted:8d}   "
+        f"bounds [{lo:.0f}, {hi:.0f}]{marker}"
+    )
+    if not lo <= submitted <= hi:
+        failures.append(
+            f"submitted {submitted} outside [{lo:.0f}, {hi:.0f}] — the replayer's "
+            f"seed-derived arrival schedule should match the DES reference "
+            f"({ref_submitted}) up to client-side retries"
+        )
+
+    if completed <= 0:
+        failures.append("no requests completed — the live window is empty")
+    min_completed = gates["min_completed_fraction"]
+    fraction = completed / submitted if submitted else 0.0
+    marker = "" if fraction >= min_completed else "  [REGRESSION]"
+    print(
+        f"completed fraction   : fresh {100 * fraction:6.2f}%   "
+        f"bound >= {100 * min_completed:.0f}%{marker}"
+    )
+    if fraction < min_completed:
+        failures.append(
+            f"completed fraction {100 * fraction:.1f}% below "
+            f"{100 * min_completed:.0f}% ({completed}/{submitted})"
+        )
+
+    max_violation = gates["max_slo_violation_ratio"]
+    marker = "" if violation <= max_violation else "  [REGRESSION]"
+    print(
+        f"slo_violation_ratio  : reference {100 * float(reference['slo_violation_ratio']):6.2f}%   "
+        f"fresh {100 * violation:6.2f}%   bound <= {100 * max_violation:.0f}%{marker}"
+    )
+    if violation > max_violation:
+        failures.append(
+            f"live SLO-violation ratio {100 * violation:.2f}% exceeds the "
+            f"documented bound {100 * max_violation:.0f}% "
+            f"(DES reference {100 * float(reference['slo_violation_ratio']):.2f}%)"
+        )
+    return failures
+
+
 def check(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Return the list of hard failures (empty = gate passes)."""
     failures: list[str] = []
@@ -354,8 +436,12 @@ def main(argv: list[str] | None = None) -> int:
     try:
         baseline = load_report(args.baseline)
         kind = baseline["benchmark"]
-        fresh = load_report(args.fresh, kinds=(kind,))
-        if kind == "prewarm":
+        # The serve gate's fresh side is a live ScenarioReport, not another
+        # gate file.
+        fresh = load_report(args.fresh, kinds=("scenario",) if kind == "serve" else (kind,))
+        if kind == "serve":
+            failures = check_serve(baseline, fresh, args.tolerance)
+        elif kind == "prewarm":
             failures = check_prewarm(baseline, fresh, args.tolerance)
         elif kind == "scenario":
             failures = check_scenario(baseline, fresh, args.tolerance)

@@ -10,6 +10,9 @@ Usage::
     python -m repro sweep --diff A.json B.json   # compare two saved sweep reports
     python -m repro scenario SPEC.json --telemetry --trace-out T.json --prom-out M.prom
     python -m repro explain REPORT.json --worst 3 # causal chains for SLO violations
+    python -m repro explain --diff A.json B.json # span-segment diff of two reports
+    python -m repro serve examples/scenarios/cold_bursty.json --quick --port 8080
+    python -m repro replay examples/scenarios/cold_bursty.json --quick --port 8080
     python -m repro bench --quick                # writes BENCH_engine.json
     python -m repro cluster-bench --quick        # writes BENCH_cluster.json
     python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
@@ -30,6 +33,14 @@ serial one.
 path fig12/fig14/fig15 use — printing the report summary and optionally
 writing its JSON (``--output``).  A malformed spec (unknown field, bad
 policy, bad model) exits non-zero with the offending path.
+
+``serve`` runs the identical control plane live: deployment in virtual
+time, then the engine paced against a wall clock behind an asyncio HTTP
+front (invoke / health / stats / NDJSON telemetry / graceful drain — see
+:mod:`repro.serve`).  ``replay`` fires the scenario's exact DES arrival
+schedule at such a server with client timeouts, capped-backoff retries,
+and optional hedged requests, then drains it and writes the live
+``ScenarioReport`` (``mode: "live"``) for diffing against the sim run.
 
 ``sweep`` expands a committed parameter grid (see :mod:`repro.sweep`) over
 a base scenario and executes every cell — the same driver fig14/fig15 use
@@ -71,6 +82,8 @@ def _cmd_list() -> int:
         doc = (SIMPLE_EXPERIMENTS.get(name) or ablations).__doc__ or ""
         print(f"{name:<10} {doc.strip().splitlines()[0]}")
     print("scenario   Run a declarative scenario spec (examples/scenarios/*.json).")
+    print("serve      Serve a scenario's control plane live over HTTP (wall-clock).")
+    print("replay     Fire a scenario's DES arrival schedule at a live server.")
     print("sweep      Run a declarative parameter sweep (examples/sweeps/*.json) or diff reports.")
     print("bench      Engine micro-benchmark (writes BENCH_engine.json).")
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
@@ -170,19 +183,43 @@ def _write_prometheus(telemetry: dict, path: str) -> None:
         fh.write(text)
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
+def _load_report_payload(path: str) -> dict | None:
     import json
 
-    from repro.obs import ExplainError, explain_report
-
     try:
-        with open(args.report, encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: {args.report}: {exc}", file=sys.stderr)
-        return 2
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return None
     if not isinstance(payload, dict):
-        print(f"error: {args.report}: not a report object", file=sys.stderr)
+        print(f"error: {path}: not a report object", file=sys.stderr)
+        return None
+    return payload
+
+
+def _cmd_explain(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.obs import ExplainError, diff_reports, explain_report
+
+    if args.diff is not None:
+        if args.report is not None:
+            parser.error("explain: give either a REPORT.json or --diff A B, not both")
+        a = _load_report_payload(args.diff[0])
+        b = _load_report_payload(args.diff[1])
+        if a is None or b is None:
+            return 2
+        try:
+            print(diff_reports(a, b))
+        except ExplainError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except BrokenPipeError:  # e.g. `python -m repro explain --diff ... | head`
+            return 0
+        return 0
+    if args.report is None:
+        parser.error("explain: needs a REPORT.json (or --diff A B)")
+    payload = _load_report_payload(args.report)
+    if payload is None:
         return 2
     try:
         print(explain_report(payload, function=args.function, worst=args.worst))
@@ -191,6 +228,109 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         return 2
     except BrokenPipeError:  # e.g. `python -m repro explain ... | head`
         return 0
+    return 0
+
+
+def _load_scenario_for_cli(args: argparse.Namespace):
+    """Shared serve/replay preamble: load the spec, apply seed override."""
+    import dataclasses
+
+    from repro.scenario import ScenarioError, load_scenario
+
+    try:
+        scenario = load_scenario(args.spec)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if args.seed is not None:
+        scenario = dataclasses.replace(scenario, seed=args.seed)
+    return scenario
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import dataclasses
+
+    from repro.serve import ServeConfig, ServeError, serve_scenario
+
+    scenario = _load_scenario_for_cli(args)
+    if scenario is None:
+        return 2
+    if args.telemetry and not scenario.measurement.telemetry:
+        scenario = dataclasses.replace(
+            scenario,
+            measurement=dataclasses.replace(scenario.measurement, telemetry=True),
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        deadline_s=args.deadline,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"[serving {scenario.name!r} on http://{config.host}:{server.port} — "
+            "POST /drain to stop]",
+            flush=True,
+        )
+
+    try:
+        report = asyncio.run(
+            serve_scenario(scenario, config, quick=args.quick, on_ready=announce)
+        )
+        print(report.summary())
+        if args.output:
+            report.save(args.output)
+            print(f"[report written to {args.output}]")
+    except ServeError as exc:
+        print(f"error: serve: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\nerror: serve: interrupted before drain", file=sys.stderr)
+        return 130
+    except Exception as exc:  # runner blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: serve {scenario.name!r}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ReplayConfig, ReplayError, format_summary, replay
+
+    scenario = _load_scenario_for_cli(args)
+    if scenario is None:
+        return 2
+    config = ReplayConfig(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        backoff_cap_s=args.backoff_cap,
+        hedge_s=args.hedge,
+        speed=args.speed,
+    )
+    try:
+        payload = asyncio.run(replay(scenario, config, quick=args.quick))
+    except ReplayError as exc:
+        print(f"error: replay: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\nerror: replay: interrupted", file=sys.stderr)
+        return 130
+    print(format_summary(payload))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[report written to {args.output}]")
     return 0
 
 
@@ -453,13 +593,129 @@ def build_parser() -> argparse.ArgumentParser:
         "telemetry-enabled ScenarioReport",
     )
     p_explain.add_argument(
-        "report", metavar="REPORT.json", help="a report saved with telemetry enabled"
+        "report",
+        nargs="?",
+        default=None,
+        metavar="REPORT.json",
+        help="a report saved with telemetry enabled",
     )
     p_explain.add_argument(
         "--function", default=None, metavar="F", help="only explain this function"
     )
     p_explain.add_argument(
         "--worst", type=int, default=3, metavar="N", help="how many violations (default 3)"
+    )
+    p_explain.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("A.json", "B.json"),
+        help="compare per-function wait/cold/swap segment means between two "
+        "telemetry-bearing reports instead of explaining one",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a scenario's control plane live over HTTP (wall-clock time)",
+    )
+    p_serve.add_argument("spec", metavar="SPEC.json", help="path to a scenario file")
+    p_serve.add_argument(
+        "--quick", action="store_true", help="serve the deterministic shrunk variant"
+    )
+    p_serve.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    p_serve.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, metavar="P", help="listen port (default 8080)"
+    )
+    p_serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent-connection cap; excess connections get 503 (default 64)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request completion deadline; 504 past it (default 30)",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record telemetry into the drained report and enable "
+        "GET /telemetry/stream (live NDJSON)",
+    )
+    p_serve.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the drained live ScenarioReport JSON here",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="fire a scenario's exact DES arrival schedule at a live server",
+    )
+    p_replay.add_argument("spec", metavar="SPEC.json", help="path to a scenario file")
+    p_replay.add_argument(
+        "--quick", action="store_true", help="replay the deterministic shrunk variant"
+    )
+    p_replay.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    p_replay.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_replay.add_argument(
+        "--port", type=int, default=8080, metavar="P", help="server port (default 8080)"
+    )
+    p_replay.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-request response deadline (default 10)",
+    )
+    p_replay.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts on timeout/connection error/5xx (default 2)",
+    )
+    p_replay.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="initial retry backoff, doubled per attempt (default 0.1)",
+    )
+    p_replay.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="retry backoff ceiling (default 2.0)",
+    )
+    p_replay.add_argument(
+        "--hedge",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fire a duplicate request if the primary is silent this long "
+        "(default: hedging off)",
+    )
+    p_replay.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="arrival-time compression (2.0 = twice as fast; values != 1 "
+        "distort comparability against the DES run)",
+    )
+    p_replay.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the drained live report (+ client stats) JSON here",
     )
 
     p_sweep = sub.add_parser(
@@ -603,7 +859,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
     if args.command == "explain":
-        return _cmd_explain(args)
+        return _cmd_explain(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "swap-bench":

@@ -12,8 +12,10 @@ causal chains behind the worst SLO violations from a saved report.
 from repro.obs.explain import (
     ExplainError,
     Violation,
+    diff_reports,
     explain_report,
     rank_violations,
+    segment_means,
 )
 from repro.obs.hub import TelemetryEvent, TelemetryHub
 from repro.obs.metrics import (
@@ -44,6 +46,8 @@ __all__ = [
     "validate_prometheus_text",
     "ExplainError",
     "Violation",
+    "diff_reports",
     "explain_report",
     "rank_violations",
+    "segment_means",
 ]

@@ -274,12 +274,109 @@ def explain_report(
     """The full ``repro explain`` output for a loaded report payload."""
     violations = rank_violations(report, function=function, worst=worst)
     scope = f" for function {function!r}" if function else ""
+    mode = report.get("mode", "sim")
+    mode_tag = f" [mode={mode}]" if mode != "sim" else ""
     if not violations:
-        return f"No SLO violations recorded{scope}."
+        return f"No SLO violations recorded{scope}{mode_tag}."
     lines = [
         f"Worst {len(violations)} SLO violation(s){scope} "
-        f"(of scenario {report.get('scenario', {}).get('name', '?')!r}):"
+        f"(of scenario {report.get('scenario', {}).get('name', '?')!r}{mode_tag}):"
     ]
     for index, violation in enumerate(violations, start=1):
         lines.append(format_violation(index, violation))
+    return "\n".join(lines)
+
+
+# -- span-level report diffing ------------------------------------------------
+
+#: The per-request wait segments compared by ``explain --diff`` (label, ms).
+DIFF_SEGMENTS = ("queue_wait_ms", "cold_wait_ms", "swap_wait_ms", "service_ms")
+
+
+def segment_means(report: _t.Mapping) -> dict[str, dict[str, float]]:
+    """Per-function mean wait/cold/swap/service segments (ms) from spans.
+
+    Only completed requests carry all four segments; the returned entry also
+    records ``count`` (completed spans) and ``latency_ms`` (mean end-to-end).
+    Raises :class:`ExplainError` when the report has no telemetry.
+    """
+    telemetry = load_telemetry(report)
+    sums: dict[str, dict[str, float]] = {}
+    for raw in telemetry["spans"]:
+        span = RequestSpan.from_dict(raw)
+        if not span.completed or span.start is None or span.end is None:
+            continue
+        entry = sums.setdefault(
+            span.function,
+            {"count": 0.0, "latency_ms": 0.0} | {key: 0.0 for key in DIFF_SEGMENTS},
+        )
+        entry["count"] += 1.0
+        entry["queue_wait_ms"] += 1000.0 * span.queue_wait_s
+        entry["cold_wait_ms"] += 1000.0 * span.cold_wait_s
+        entry["swap_wait_ms"] += 1000.0 * span.swap_wait_s
+        entry["service_ms"] += 1000.0 * (span.end - span.start)
+        entry["latency_ms"] += span.latency_ms or 0.0
+    means: dict[str, dict[str, float]] = {}
+    for function, entry in sums.items():
+        count = entry.pop("count")
+        means[function] = {key: value / count for key, value in entry.items()}
+        means[function]["count"] = count
+    return means
+
+
+def diff_reports(a: _t.Mapping, b: _t.Mapping) -> str:
+    """``repro explain --diff A B`` — compare per-function segment means.
+
+    A is the baseline, B the candidate; positive deltas are regressions
+    (B slower).  Functions are ranked by their single worst segment
+    regression.  Both reports must carry telemetry.
+    """
+    means_a = segment_means(a)
+    means_b = segment_means(b)
+    shared = sorted(set(means_a) & set(means_b))
+    if not shared:
+        raise ExplainError(
+            "no function has completed spans in both reports — "
+            f"A has {sorted(means_a) or 'none'}, B has {sorted(means_b) or 'none'}"
+        )
+
+    def describe(payload: _t.Mapping, label: str) -> str:
+        name = payload.get("scenario", {}).get("name", "?")
+        return (
+            f"  {label}: scenario {name!r}  mode={payload.get('mode', 'sim')}  "
+            f"quick={payload.get('quick')}  completed={payload.get('totals', {}).get('completed')}"
+        )
+
+    lines = [
+        "Span-segment diff (B - A, positive = regression):",
+        describe(a, "A"),
+        describe(b, "B"),
+        "",
+        f"  {'function':<19} {'segment':<14} {'A(ms)':>9} {'B(ms)':>9} {'delta':>9}",
+    ]
+    regressions: list[tuple[float, str, str]] = []
+    for function in shared:
+        for segment in DIFF_SEGMENTS:
+            va = means_a[function][segment]
+            vb = means_b[function][segment]
+            delta = vb - va
+            lines.append(
+                f"  {function:<19} {segment:<14} {va:9.1f} {vb:9.1f} {delta:+9.1f}"
+            )
+            regressions.append((delta, function, segment))
+    regressions.sort(key=lambda item: -item[0])
+    worst = [item for item in regressions if item[0] > 0.0][:5]
+    lines.append("")
+    if worst:
+        lines.append("  biggest regressions:")
+        for rank, (delta, function, segment) in enumerate(worst, start=1):
+            lines.append(f"    {rank}. {function} {segment} +{delta:.1f} ms")
+    else:
+        lines.append("  no segment regressed (B <= A everywhere).")
+    only_a = sorted(set(means_a) - set(means_b))
+    only_b = sorted(set(means_b) - set(means_a))
+    if only_a:
+        lines.append(f"  (functions only in A: {', '.join(only_a)})")
+    if only_b:
+        lines.append(f"  (functions only in B: {', '.join(only_b)})")
     return "\n".join(lines)

@@ -57,7 +57,7 @@ class TelemetryEvent:
 class TelemetryHub:
     """Append-only structured event stream; disabled by default."""
 
-    __slots__ = ("enabled", "max_events", "events", "dropped")
+    __slots__ = ("enabled", "max_events", "events", "dropped", "tap")
 
     def __init__(self, enabled: bool = False, max_events: int = 1_000_000):
         if max_events < 1:
@@ -66,6 +66,12 @@ class TelemetryHub:
         self.max_events = max_events
         self.events: list[TelemetryEvent] = []
         self.dropped = 0
+        #: Optional live observer called with every emitted event *before*
+        #: the bounded-buffer append (so a live stream keeps flowing even
+        #: after the buffer fills).  Only consulted while enabled — the
+        #: disabled fast path is untouched.  Used by the serve subsystem's
+        #: NDJSON telemetry endpoint.
+        self.tap: _t.Callable[[TelemetryEvent], None] | None = None
 
     def emit(
         self,
@@ -78,10 +84,13 @@ class TelemetryHub:
         """Record one event (no-op while disabled; counted drop when full)."""
         if not self.enabled:
             return
+        event = TelemetryEvent(time, source, kind, function, payload)
+        if self.tap is not None:
+            self.tap(event)
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
-        self.events.append(TelemetryEvent(time, source, kind, function, payload))
+        self.events.append(event)
 
     # -- queries -------------------------------------------------------------
     def filter(

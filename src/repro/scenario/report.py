@@ -111,6 +111,11 @@ class ScenarioReport:
     #: unless the run recorded telemetry, so telemetry-off reports stay
     #: byte-identical to older baselines.
     telemetry: dict | None = None
+    #: how the window was measured: ``"sim"`` (discrete-event, the default)
+    #: or ``"live"`` (wall-clock serving behind the HTTP gateway).  Absent
+    #: from the serialization when ``"sim"`` so committed pins stay
+    #: byte-identical.
+    mode: str = "sim"
 
     def function(self, name: str) -> FunctionOutcome:
         for outcome in self.functions:
@@ -160,6 +165,8 @@ class ScenarioReport:
         }
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry
+        if self.mode != "sim":
+            payload["mode"] = self.mode
         return payload
 
     def _events_dict(self) -> dict:
@@ -203,7 +210,8 @@ class ScenarioReport:
         lines = [
             f"Scenario {scenario.name!r}  ({len(scenario.functions)} functions, "
             f"nodes: {node_desc}, sharing: {scenario.cluster.sharing}, "
-            f"seed {scenario.seed}{', quick' if self.quick else ''})",
+            f"seed {scenario.seed}{', quick' if self.quick else ''}"
+            f"{', live' if self.mode == 'live' else ''})",
             f"  window {self.duration:.1f}s  submitted {self.submitted}  "
             f"completed {self.completed}  overall p95 {self.overall_p95_ms:.1f} ms  "
             f"violations {100 * self.overall_violation_ratio:.2f}%",

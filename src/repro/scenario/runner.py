@@ -154,6 +154,24 @@ def _deploy_static(platform: "FaSTGShare", scenario: Scenario) -> None:
         )
 
 
+def transition_observer(engine) -> _t.Callable:
+    """Pod-phase-transition hook that emits to ``engine``'s telemetry hub."""
+    hub = engine.hub
+
+    def observe_transition(pod, previous, phase, cost) -> None:
+        hub.emit(
+            engine.now,
+            "pod",
+            "transition",
+            pod.spec.function_name,
+            pod=pod.pod_id,
+            **{"from": previous.value, "to": phase.value},
+            cost_s=cost,
+        )
+
+    return observe_transition
+
+
 def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
     """Serve, measure, and report one scenario (see module docstring).
 
@@ -168,22 +186,8 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
     platform = build_platform(scenario)
     observing = scenario.measurement.telemetry
     if observing:
-        engine = platform.engine
-        hub = engine.hub
-        hub.enabled = True
-
-        def observe_transition(pod, previous, phase, cost) -> None:
-            hub.emit(
-                engine.now,
-                "pod",
-                "transition",
-                pod.spec.function_name,
-                pod=pod.pod_id,
-                **{"from": previous.value, "to": phase.value},
-                cost_s=cost,
-            )
-
-        set_transition_observer(observe_transition)
+        platform.engine.hub.enabled = True
+        set_transition_observer(transition_observer(platform.engine))
     try:
         return _execute(scenario, quick, platform)
     finally:
@@ -191,10 +195,36 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> ScenarioReport:
             set_transition_observer(None)
 
 
-def _execute(
-    scenario: Scenario, quick: bool, platform: "FaSTGShare"
-) -> ScenarioReport:
-    engine = platform.engine
+@dataclasses.dataclass
+class ControlPlane:
+    """A deployed scenario: everything up to "ready to serve".
+
+    Both measurement modes — the discrete-event window in :func:`_execute`
+    and the wall-clock window in :mod:`repro.serve.server` — run the
+    *identical* control plane this object captures; only the pacing of the
+    window in between differs.
+    """
+
+    scenario: Scenario
+    platform: "FaSTGShare"
+    workloads: dict[str, Workload]
+    traces: dict[str, "FunctionTrace | None"]
+    scheduler: _t.Any | None
+    oracle_forecasters: dict | None
+
+    @property
+    def horizon(self) -> float:
+        return max(w.duration for w in self.workloads.values())
+
+    def anchor_oracles(self, t_start: float) -> None:
+        if self.oracle_forecasters:
+            for forecaster in self.oracle_forecasters.values():
+                forecaster.origin = t_start  # trace offset 0 == replay start
+
+
+def prepare_control_plane(scenario: Scenario, platform: "FaSTGShare") -> ControlPlane:
+    """Resolve workloads, start the autoscaler (or deploy statically), and
+    wait until every initial replica is accepting — in pure virtual time."""
     auto = scenario.autoscaler
 
     workloads: dict[str, Workload] = {}
@@ -245,34 +275,85 @@ def _execute(
     else:
         _deploy_static(platform, scenario)
     platform.wait_ready()
+    return ControlPlane(
+        scenario=scenario,
+        platform=platform,
+        workloads=workloads,
+        traces=traces,
+        scheduler=scheduler,
+        oracle_forecasters=oracle_forecasters,
+    )
+
+
+def placement_state(
+    platform: "FaSTGShare", scheduler: _t.Any | None, sharing: str
+) -> tuple[int, dict[str, float]]:
+    """(GPUs in use, per-node utilized allocation area) for one sample tick."""
+    if scheduler is not None:
+        return (
+            scheduler.placement.gpus_in_use(),
+            scheduler.placement.utilized_area_by_node(),
+        )
+    if sharing == "fast":
+        return platform._mra.gpus_in_use(), platform._mra.utilized_area_by_node()
+    hosts = {
+        pod.node_name for pod in platform.cluster.pods.values() if pod.node_name
+    }
+    return len(hosts), {}
+
+
+@dataclasses.dataclass
+class WindowCounters:
+    """Monotonic control-plane counters at the measured window's open.
+
+    The report subtracts these so warm-up (sim) or deployment (live)
+    activity stays out of the measured window.
+    """
+
+    submitted: dict[str, int] = dataclasses.field(default_factory=dict)
+    events: int = 0
+    prewarms: int = 0
+    retirements: int = 0
+    promotions: int = 0
+    swaps: int = 0
+    demotions: int = 0
+    evictions: int = 0
+
+    @classmethod
+    def capture(cls, platform: "FaSTGShare", scheduler: _t.Any | None) -> "WindowCounters":
+        counters = cls(submitted=dict(platform.gateway.submitted))
+        counters.promotions = platform.gateway.promotions
+        if platform.lifecycle is not None:
+            counters.swaps = platform.lifecycle.promotions
+            counters.demotions = platform.lifecycle.demotions
+            counters.evictions = platform.lifecycle.evictions
+        if scheduler is not None:
+            counters.events = len(scheduler.events)
+            counters.prewarms = scheduler.predictive.prewarms
+            counters.retirements = scheduler.predictive.retirements
+        return counters
+
+
+def _execute(
+    scenario: Scenario, quick: bool, platform: "FaSTGShare"
+) -> ScenarioReport:
+    engine = platform.engine
+    plane = prepare_control_plane(scenario, platform)
+    scheduler = plane.scheduler
+    workloads = plane.workloads
 
     t_start = engine.now
-    if oracle_forecasters:
-        for forecaster in oracle_forecasters.values():
-            forecaster.origin = t_start  # trace offset 0 == replay start
+    plane.anchor_oracles(t_start)
     platform.cluster.reset_metrics()
     for fn in scenario.functions:
         OpenLoopGenerator(engine, platform.gateway, fn.name, workloads[fn.name])
 
-    horizon = max(w.duration for w in workloads.values())
+    horizon = plane.horizon
     measurement = scenario.measurement
     samples: list[tuple[float, int, dict[str, float]]] = []
 
-    def placement_state() -> tuple[int, dict[str, float]]:
-        if scheduler is not None:
-            return (
-                scheduler.placement.gpus_in_use(),
-                scheduler.placement.utilized_area_by_node(),
-            )
-        if scenario.cluster.sharing == "fast":
-            return platform._mra.gpus_in_use(), platform._mra.utilized_area_by_node()
-        hosts = {
-            pod.node_name for pod in platform.cluster.pods.values() if pod.node_name
-        }
-        return len(hosts), {}
-
     def sample() -> None:
-        gpus, alloc = placement_state()
+        gpus, alloc = placement_state(platform, scheduler, scenario.cluster.sharing)
         samples.append((engine.now, gpus, alloc))
         if engine.now < t_start + horizon:
             engine.schedule(measurement.sample_dt, sample)
@@ -280,10 +361,7 @@ def _execute(
     engine.schedule(measurement.sample_dt, sample)
 
     t0 = t_start
-    submitted_before: dict[str, int] = {}
-    events_before = 0
-    prewarms_before = retirements_before = promotions_before = 0
-    swaps_before = demotions_before = evictions_before = 0
+    before = WindowCounters()
     if measurement.warmup_s > 0:
         engine.run(until=t_start + measurement.warmup_s)
         # Everything measured — latency windows, node metrics, utilization
@@ -291,29 +369,42 @@ def _execute(
         # report covers only the post-warm-up window.
         platform.cluster.reset_metrics()
         t0 = engine.now
-        submitted_before = dict(platform.gateway.submitted)
         samples.clear()
-        promotions_before = platform.gateway.promotions
-        if platform.lifecycle is not None:
-            swaps_before = platform.lifecycle.promotions
-            demotions_before = platform.lifecycle.demotions
-            evictions_before = platform.lifecycle.evictions
-        if scheduler is not None:
-            events_before = len(scheduler.events)
-            prewarms_before = scheduler.predictive.prewarms
-            retirements_before = scheduler.predictive.retirements
+        before = WindowCounters.capture(platform, scheduler)
     engine.run(until=t_start + horizon + measurement.drain_s)
     if scheduler is not None:
         scheduler.stop()
     end = engine.now
+    return aggregate_report(
+        plane, quick=quick, t0=t0, end=end, samples=samples, before=before
+    )
 
-    # -- aggregate the report ---------------------------------------------------
+
+def aggregate_report(
+    plane: ControlPlane,
+    *,
+    quick: bool,
+    t0: float,
+    end: float,
+    samples: list[tuple[float, int, dict[str, float]]],
+    before: WindowCounters,
+    mode: str = "sim",
+) -> ScenarioReport:
+    """Aggregate one measured window ``[t0, end]`` into a ScenarioReport."""
+    scenario = plane.scenario
+    platform = plane.platform
+    scheduler = plane.scheduler
+    traces = plane.traces
+    engine = platform.engine
+    measurement = scenario.measurement
+    horizon = plane.horizon
+
     outcomes: list[FunctionOutcome] = []
     violated_total = 0
     completed_total = 0
     submitted_total = 0
     for fn in scenario.functions:
-        submitted = platform.gateway.submitted[fn.name] - submitted_before.get(fn.name, 0)
+        submitted = platform.gateway.submitted[fn.name] - before.submitted.get(fn.name, 0)
         run = platform._report(fn.name, t0, end, submitted)
         latencies = run.log.latencies_ms()
         violated_total += int((latencies > run.slo_ms).sum()) if latencies.size else 0
@@ -336,12 +427,12 @@ def _execute(
         if any(a > 0 for a in alloc.values())
     ]
     if scheduler is not None:
-        window_events = scheduler.events[events_before:]
+        window_events = scheduler.events[before.events:]
         scale_ups = sum(1 for e in window_events if e.action == "up")
         scale_downs = sum(1 for e in window_events if e.action == "down")
         nofit_events = sum(1 for e in window_events if e.action == "nofit")
-        prewarms = scheduler.predictive.prewarms - prewarms_before
-        retirements = scheduler.predictive.retirements - retirements_before
+        prewarms = scheduler.predictive.prewarms - before.prewarms
+        retirements = scheduler.predictive.retirements - before.retirements
         replica_series = tuple(
             # Warm-up ticks stay out: the series covers only the measured
             # window, on the window's own time base (like every other metric).
@@ -354,9 +445,9 @@ def _execute(
         replica_series = ()
 
     if platform.lifecycle is not None:
-        swap_promotions = platform.lifecycle.promotions - swaps_before
-        demotions = platform.lifecycle.demotions - demotions_before
-        host_evictions = platform.lifecycle.evictions - evictions_before
+        swap_promotions = platform.lifecycle.promotions - before.swaps
+        demotions = platform.lifecycle.demotions - before.demotions
+        host_evictions = platform.lifecycle.evictions - before.evictions
     else:
         swap_promotions = demotions = host_evictions = 0
 
@@ -405,11 +496,12 @@ def _execute(
         scale_downs=scale_downs,
         nofit_events=nofit_events,
         prewarms=prewarms,
-        promotions=platform.gateway.promotions - promotions_before,
+        promotions=platform.gateway.promotions - before.promotions,
         retirements=retirements,
         replica_series=replica_series,
         swap_promotions=swap_promotions,
         demotions=demotions,
         host_evictions=host_evictions,
         telemetry=telemetry_block,
+        mode=mode,
     )

@@ -1,0 +1,39 @@
+"""Live serving subsystem: the identical control plane in wall-clock time.
+
+``python -m repro serve SCENARIO.json`` puts the *unmodified* scheduler /
+autoscaler / gateway / memory-tier stack — every timer still an engine
+callback — behind a real asyncio HTTP front, paced against a
+:class:`~repro.sim.clock.WallClock` by :class:`~repro.serve.driver.EngineDriver`;
+``python -m repro replay`` fires the byte-identical arrival schedule the
+DES's open-loop generator would draw, with client timeouts, capped
+exponential-backoff retries, and hedged requests.  Both ends emit/consume
+the same :class:`~repro.scenario.report.ScenarioReport` schema, so live
+runs diff directly against simulations (``python -m repro explain --diff``).
+"""
+
+from repro.serve.driver import EngineDriver
+from repro.serve.replayer import (
+    Replayer,
+    ReplayConfig,
+    ReplayError,
+    ReplayStats,
+    arrival_schedule,
+    format_summary,
+    replay,
+)
+from repro.serve.server import LiveServer, ServeConfig, ServeError, serve_scenario
+
+__all__ = [
+    "EngineDriver",
+    "LiveServer",
+    "ReplayConfig",
+    "ReplayError",
+    "ReplayStats",
+    "Replayer",
+    "ServeConfig",
+    "ServeError",
+    "arrival_schedule",
+    "format_summary",
+    "replay",
+    "serve_scenario",
+]

@@ -1,0 +1,129 @@
+"""The wall-clock driver: paces the DES engine against real time in asyncio.
+
+The whole point of the live subsystem is that the *identical* control plane
+(gateway, scheduler, autoscaler, memory tier, fluid device models) runs
+unmodified — every one of its timers is still an engine callback at an
+absolute engine-timeline instant.  The driver is the only new moving part:
+a single asyncio task that repeatedly
+
+1. advances the engine to the wall clock's current reading
+   (``engine.run(until=clock.now())`` — exactly the API every simulation
+   uses, so due callbacks fire in the same deterministic ``(time, seq)``
+   order they would in a sim), then
+2. sleeps until the next scheduled event comes due (or a wakeup: an HTTP
+   handler injected a request, or an engine callback scheduled something
+   earlier than the current sleep deadline — caught via
+   ``Engine.on_schedule``).
+
+Everything runs on one event loop thread, so no locks: HTTP handlers mutate
+engine state only through :meth:`EngineDriver.call`, which advances the
+engine to "now" first so arrivals are stamped at the wall moment they came
+in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import typing as _t
+
+from repro.sim.clock import WallClock
+from repro.sim.engine import Engine
+
+
+class EngineDriver:
+    """Runs an :class:`Engine` in wall time on the current asyncio loop.
+
+    Parameters
+    ----------
+    engine, clock:
+        The engine to pace and the (started) :class:`WallClock` anchoring
+        its timeline to real time.
+    tick_s:
+        Idle heartbeat: the maximum sleep between engine advances even when
+        no event is due (bounds drift after a missed wakeup).
+    """
+
+    def __init__(self, engine: Engine, clock: WallClock, tick_s: float = 0.25):
+        if tick_s <= 0:
+            raise ValueError(f"tick_s must be > 0, got {tick_s}")
+        self._engine = engine
+        self._clock = clock
+        self._tick_s = tick_s
+        self._wake = asyncio.Event()
+        self._sleeping = False
+        self._stopping = False
+        self._task: asyncio.Task | None = None
+        engine.on_schedule = self._on_schedule
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("driver already started")
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="engine-driver"
+        )
+
+    async def stop(self) -> None:
+        """Advance to "now" one last time, then stop the pacing task."""
+        self._stopping = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self.advance()
+        self._engine.on_schedule = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    # -- engine access -----------------------------------------------------
+    def advance(self) -> float:
+        """Bring the engine timeline up to the wall clock's reading."""
+        target = self._clock.now()
+        if target > self._engine.now:
+            self._engine.run(until=target)
+        return self._engine.now
+
+    def call(self, fn: _t.Callable, *args) -> _t.Any:
+        """Run ``fn`` on the engine timeline at the current wall instant.
+
+        The engine is advanced first so anything ``fn`` records (a gateway
+        arrival, a cancel) is stamped "now", and the pacing task is woken
+        afterwards so timers ``fn`` scheduled are re-evaluated immediately.
+        """
+        self.advance()
+        try:
+            return fn(*args)
+        finally:
+            self._wake.set()
+
+    # -- internals ---------------------------------------------------------
+    def _on_schedule(self, time: float) -> None:
+        # Only relevant while the pacing task is parked: a callback running
+        # *inside* engine.run() already has the loop's attention.
+        if self._sleeping:
+            self._wake.set()
+
+    async def _run(self) -> None:
+        while not self._stopping:
+            self._wake.clear()
+            self.advance()
+            next_event = self._engine.peek()
+            if next_event is math.inf:
+                delay = self._tick_s
+            else:
+                delay = min(self._tick_s, max(0.0, next_event - self._clock.now()))
+            if delay <= 0.0:
+                # An event is already due — yield once so handler coroutines
+                # starved behind a busy timeline still get scheduled.
+                await asyncio.sleep(0)
+                continue
+            self._sleeping = True
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=delay)
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                self._sleeping = False

@@ -1,0 +1,196 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (server + client side).
+
+The container bakes in only the standard library and numpy, so the live
+serving subsystem hand-rolls the small slice of HTTP it needs instead of
+depending on aiohttp/requests: one request per connection (``Connection:
+close``), ``Content-Length`` bodies, and an unframed streaming response for
+the NDJSON telemetry endpoint.  Both :mod:`repro.serve.server` and
+:mod:`repro.serve.replayer` speak through these helpers so the two sides
+can never disagree about framing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import typing as _t
+
+#: Hard caps so a broken peer cannot balloon memory.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpProtocolError(ValueError):
+    """Malformed request/response framing on the wire."""
+
+
+@dataclasses.dataclass(slots=True)
+class HttpRequest:
+    """One parsed inbound request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> _t.Any:
+        if not self.body:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+
+@dataclasses.dataclass(slots=True)
+class HttpResponse:
+    """One parsed client-side response."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> _t.Any:
+        if not self.body:
+            return None
+        return json.loads(self.body.decode("utf-8"))
+
+
+async def _read_head(reader: asyncio.StreamReader) -> list[str] | None:
+    """Read request/status line + headers; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise HttpProtocolError("connection closed mid-headers") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpProtocolError("header block too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpProtocolError(f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    return head.decode("latin-1").split("\r\n")
+
+
+def _parse_headers(lines: _t.Iterable[str]) -> dict[str, str]:
+    headers: dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one inbound request; ``None`` when the peer closed cleanly."""
+    lines = await _read_head(reader)
+    if lines is None:
+        return None
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpProtocolError(f"malformed request line {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers = _parse_headers(lines[1:])
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpProtocolError("bad Content-Length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpProtocolError(f"Content-Length {length} out of range")
+        body = await reader.readexactly(length)
+    return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    *,
+    stream: bool = False,
+) -> bytes:
+    """Serialize a response head (+ body unless ``stream``).
+
+    With ``stream=True`` no ``Content-Length`` is sent — the caller writes
+    the body incrementally and closes the connection to delimit it (the
+    NDJSON telemetry feed).
+    """
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if not stream:
+        head.append(f"Content-Length: {len(body)}")
+    raw = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+    return raw if stream else raw + body
+
+
+def json_response(status: int, payload: _t.Any) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return response_bytes(status, body)
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    timeout: float = 10.0,
+) -> HttpResponse:
+    """One client request over a fresh connection (``Connection: close``).
+
+    Raises ``OSError``/``ConnectionError`` when the server is unreachable or
+    dies mid-exchange, ``asyncio.TimeoutError`` past ``timeout``, and
+    :class:`HttpProtocolError` on malformed framing.
+    """
+
+    async def _exchange() -> HttpResponse:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            payload = body or b""
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            writer.write(head + payload)
+            await writer.drain()
+            lines = await _read_head(reader)
+            if lines is None:
+                raise ConnectionResetError("server closed before responding")
+            parts = lines[0].split(" ", 2)
+            if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+                raise HttpProtocolError(f"malformed status line {lines[0]!r}")
+            status = int(parts[1])
+            headers = _parse_headers(lines[1:])
+            if "content-length" in headers:
+                data = await reader.readexactly(int(headers["content-length"]))
+            else:
+                data = await reader.read(MAX_BODY_BYTES)
+            return HttpResponse(status=status, headers=headers, body=data)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    return await asyncio.wait_for(_exchange(), timeout=timeout)

@@ -18,6 +18,7 @@ built for the FaST-GShare reproduction.  Components:
 Everything is single-threaded and bit-exactly reproducible for a given seed.
 """
 
+from repro.sim.clock import Clock, SimClock, WallClock
 from repro.sim.engine import Engine
 from repro.sim.errors import SimulationError, ScheduleInPastError, Interrupt
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
@@ -29,6 +30,7 @@ from repro.sim.tracing import TraceLog, TraceRecord
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Clock",
     "Engine",
     "Event",
     "Gate",
@@ -36,9 +38,11 @@ __all__ = [
     "Process",
     "RngStreams",
     "ScheduleInPastError",
+    "SimClock",
     "SimulationError",
     "Store",
     "Timeout",
     "TraceLog",
     "TraceRecord",
+    "WallClock",
 ]

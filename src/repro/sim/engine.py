@@ -30,6 +30,7 @@ import math
 import typing as _t
 
 from repro.obs.hub import TelemetryHub
+from repro.sim.clock import Clock, SimClock
 from repro.sim.errors import ScheduleInPastError, SimulationError
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
@@ -84,6 +85,13 @@ class Engine:
         When true, enable the engine-timer trace channel: every
         ``schedule``/``schedule_at`` is recorded in :attr:`trace` (costly;
         off by default).
+    clock:
+        The engine's time source (see :mod:`repro.sim.clock`).  Defaults to
+        :class:`~repro.sim.clock.SimClock` — pure virtual event-time, the
+        mode every simulation pin uses.  A live serving driver swaps in a
+        :class:`~repro.sim.clock.WallClock` via :meth:`use_clock` and paces
+        ``run(until=clock.now())`` against real time; the engine's timeline
+        semantics are identical either way.
 
     Attributes
     ----------
@@ -97,7 +105,7 @@ class Engine:
         gated separately so scenario telemetry does not drown in timer events.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False):
+    def __init__(self, seed: int = 0, trace: bool = False, clock: Clock | None = None):
         self._now: float = 0.0
         self._heap: list[Handle] = []
         self._seq = itertools.count()
@@ -108,12 +116,28 @@ class Engine:
         self.hub = TelemetryHub(enabled=trace)
         self.trace = TraceLog(enabled=trace, hub=self.hub)
         self._processes_started = 0
+        #: Optional hook called as ``on_schedule(time)`` after every push —
+        #: a wall-clock driver uses it to wake early when a callback
+        #: schedules work due before the driver's current sleep deadline.
+        self.on_schedule: _t.Callable[[float], None] | None = None
+        self.clock: Clock = clock if clock is not None else SimClock()
+        self.clock.bind(self)
 
     # -- clock -------------------------------------------------------------
     @property
     def now(self) -> float:
-        """Current virtual time in seconds."""
+        """Current engine-timeline time in seconds."""
         return self._now
+
+    def use_clock(self, clock: Clock) -> None:
+        """Swap the time source (e.g. sim → wall at live-serve start).
+
+        The timeline itself is untouched: scheduled handles keep their
+        absolute times, and a subsequent ``run(until=...)`` fires them in
+        the same order regardless of which clock paces the targets.
+        """
+        clock.bind(self)
+        self.clock = clock
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, delay: float, callback: _t.Callable, *args) -> Handle:
@@ -134,6 +158,8 @@ class Engine:
         handle = Handle(time, next(self._seq), callback, args)
         handle._engine = self
         heapq.heappush(heap, handle)
+        if self.on_schedule is not None:
+            self.on_schedule(time)
         if self.trace.enabled:
             self.trace.emit(
                 self._now,

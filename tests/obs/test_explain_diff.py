@@ -1,0 +1,105 @@
+"""``explain --diff``: segment means, regression ranking, mode tagging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import ExplainError, diff_reports, explain_report, segment_means
+
+
+def _span(rid, function="fn", arrival=10.0, cold_s=0.0, swap_s=0.0, queue_s=0.0,
+          service_s=0.1, completed=True):
+    start = arrival + cold_s + swap_s + queue_s
+    span = {
+        "request_id": rid,
+        "function": function,
+        "arrival": arrival,
+        "completed": completed,
+        "cold_wait_s": cold_s,
+        "swap_wait_s": swap_s,
+    }
+    if completed:
+        span["start"] = start
+        span["end"] = start + service_s
+    return span
+
+
+def _report(spans, name="synthetic", mode=None, completed=None):
+    payload = {
+        "scenario": {"name": name},
+        "quick": True,
+        "functions": {"fn": {"slo_ms": 100}},
+        "totals": {"completed": completed if completed is not None else len(spans)},
+        "telemetry": {"format": "repro-telemetry/1", "events": [], "spans": spans},
+    }
+    if mode is not None:
+        payload["mode"] = mode
+    return payload
+
+
+def test_segment_means_averages_completed_spans_only():
+    spans = [
+        _span(1, cold_s=1.0, queue_s=0.2, service_s=0.1),
+        _span(2, cold_s=0.0, queue_s=0.4, service_s=0.3),
+        _span(3, completed=False),  # ignored: no segments to decompose
+    ]
+    means = segment_means(_report(spans))
+    assert set(means) == {"fn"}
+    entry = means["fn"]
+    assert entry["count"] == 2
+    assert entry["cold_wait_ms"] == pytest.approx(500.0)
+    assert entry["queue_wait_ms"] == pytest.approx(300.0)
+    assert entry["swap_wait_ms"] == pytest.approx(0.0)
+    assert entry["service_ms"] == pytest.approx(200.0)
+    assert entry["latency_ms"] == pytest.approx((1300.0 + 700.0) / 2)
+
+
+def test_segment_means_requires_telemetry():
+    with pytest.raises(ExplainError):
+        segment_means({"scenario": {"name": "x"}, "functions": {}})
+
+
+def test_diff_ranks_biggest_regressions_first():
+    a = _report([_span(1, cold_s=0.1, service_s=0.1)])
+    b = _report([_span(1, cold_s=1.1, queue_s=0.25, service_s=0.1)])
+    text = diff_reports(a, b)
+    assert "Span-segment diff (B - A, positive = regression):" in text
+    assert "biggest regressions:" in text
+    lines = text.splitlines()
+    ranked = [line.strip() for line in lines if line.strip().startswith(("1.", "2."))]
+    assert ranked[0] == "1. fn cold_wait_ms +1000.0 ms"
+    assert ranked[1] == "2. fn queue_wait_ms +250.0 ms"
+
+
+def test_diff_reports_no_regression_branch():
+    a = _report([_span(1, cold_s=1.0, service_s=0.2)])
+    b = _report([_span(1, cold_s=0.5, service_s=0.1)])
+    assert "no segment regressed (B <= A everywhere)." in diff_reports(a, b)
+
+
+def test_diff_surfaces_mode_and_function_mismatches():
+    a = _report([_span(1)], mode=None)
+    b = _report(
+        [_span(1), _span(2, function="other")], name="tiny-live", mode="live"
+    )
+    b["functions"]["other"] = {"slo_ms": 100}
+    text = diff_reports(a, b)
+    assert "A: scenario 'synthetic'  mode=sim" in text
+    assert "B: scenario 'tiny-live'  mode=live" in text
+    assert "(functions only in B: other)" in text
+
+
+def test_diff_requires_shared_functions():
+    a = _report([_span(1, function="only-a")])
+    b = _report([_span(1, function="only-b")])
+    with pytest.raises(ExplainError, match="no function has completed spans in both"):
+        diff_reports(a, b)
+
+
+def test_explain_report_tags_live_mode():
+    live = _report([_span(1, cold_s=1.0, service_s=1.0)], mode="live")
+    assert "[mode=live]" in explain_report(live)
+    clean = _report([_span(1, service_s=0.01)], mode="live")
+    assert explain_report(clean).endswith("[mode=live].")
+    sim = _report([_span(1, cold_s=1.0, service_s=1.0)])
+    assert "[mode=" not in explain_report(sim)

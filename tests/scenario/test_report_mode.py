@@ -1,0 +1,43 @@
+"""ScenarioReport.mode: sim stays byte-identical, live is surfaced everywhere."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.platform import FaSTGShare
+from repro.scenario.spec import Scenario
+
+TINY_SPEC = {
+    "format": "fast-gshare-scenario/1",
+    "name": "tiny-mode",
+    "seed": 3,
+    "cluster": {"nodes": 1, "gpu": "V100"},
+    "functions": [
+        {
+            "name": "fn-a",
+            "model": "resnet50",
+            "slo_ms": 200,
+            "workload": {"kind": "constant", "rps": 2.0, "duration": 1.0},
+        }
+    ],
+}
+
+
+def _report():
+    return FaSTGShare.run_scenario(Scenario.from_dict(TINY_SPEC))
+
+
+def test_sim_mode_is_default_and_absent_from_json():
+    report = _report()
+    assert report.mode == "sim"
+    # Committed pins predate the mode field: sim reports must not grow a key.
+    assert "mode" not in report.to_dict()
+    assert ", live" not in report.summary()
+
+
+def test_live_mode_serializes_and_shows_in_summary():
+    live = dataclasses.replace(_report(), mode="live")
+    payload = live.to_dict()
+    assert payload["mode"] == "live"
+    header = live.summary().splitlines()[0]
+    assert ", live)" in header

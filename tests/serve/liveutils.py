@@ -1,0 +1,48 @@
+"""Shared fixtures for the live serving tests: tiny scenarios, free ports.
+
+Not a conftest.py on purpose: the benchmarks suite imports its own
+``conftest`` by bare module name, so a second conftest module anywhere in
+the collection tree would shadow it.  Test modules import these fixtures
+explicitly instead.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.scenario.spec import Scenario
+
+#: Small enough to replay in wall time inside a unit test (~8 arrivals over 2 s).
+TINY_SPEC = {
+    "format": "fast-gshare-scenario/1",
+    "name": "tiny-live",
+    "seed": 7,
+    "cluster": {"nodes": 1, "gpu": "V100"},
+    "functions": [
+        {
+            "name": "fn-a",
+            "model": "resnet50",
+            "slo_ms": 200,
+            "workload": {"kind": "constant", "rps": 4.0, "duration": 2.0},
+        }
+    ],
+}
+
+
+@pytest.fixture
+def tiny_scenario() -> Scenario:
+    return Scenario.from_dict(TINY_SPEC)
+
+
+def free_port() -> int:
+    """A port nothing is listening on (racy in theory, fine for tests)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture
+def dead_port() -> int:
+    return free_port()

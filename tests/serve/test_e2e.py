@@ -1,0 +1,47 @@
+"""End-to-end: serve + replay a tiny scenario in-process, diff against the DES."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.platform import FaSTGShare
+from repro.scenario.spec import Scenario
+from repro.serve import LiveServer, ReplayConfig, Replayer, ServeConfig, format_summary
+from tests.serve.liveutils import tiny_scenario  # noqa: F401  (fixture)
+
+
+def test_live_replay_matches_des_counters(tiny_scenario: Scenario):
+    """The acceptance path in miniature: wall-clock serve + replay vs DES.
+
+    The replayer derives arrivals from the same seeded streams as the DES
+    open-loop generator, so the live submitted count must equal the DES run's
+    exactly; completion is robust (warm replica, generous deadlines).
+    """
+    des = FaSTGShare.run_scenario(tiny_scenario)
+
+    async def scenario() -> dict:
+        server = LiveServer(tiny_scenario, ServeConfig(port=0))
+        await server.start()
+        try:
+            config = ReplayConfig(port=server.port, timeout_s=30.0, drain_timeout_s=60.0)
+            return await Replayer(tiny_scenario, config).run()
+        finally:
+            await server.aclose()
+
+    payload = asyncio.run(scenario())
+
+    assert payload["mode"] == "live"
+    assert payload["quick"] is False
+    assert payload["scenario"]["name"] == "tiny-live"
+    assert payload["totals"]["submitted"] == des.submitted
+    assert payload["totals"]["completed"] == payload["totals"]["submitted"]
+    assert payload["functions"]["fn-a"]["completed"] > 0
+
+    client = payload["client"]
+    assert client["ok"] == client["submitted"] == des.submitted
+    assert client["conn_errors"] == 0
+    assert client["abandoned"] == 0
+
+    summary = format_summary(payload)
+    assert "mode=live" in summary
+    assert f"{client['ok']}/{client['submitted']} ok" in summary

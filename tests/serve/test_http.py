@@ -1,0 +1,143 @@
+"""HTTP framing helpers: parsing, bounds, round-trips, client timeouts."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import http
+from tests.serve.liveutils import dead_port  # noqa: F401  (fixture)
+
+
+def _feed(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _parse(data: bytes):
+    async def go():
+        return await http.read_request(_feed(data))
+
+    return asyncio.run(go())
+
+
+def test_read_request_parses_method_path_headers_body():
+    request = _parse(
+        b"POST /function/fn-a HTTP/1.1\r\n"
+        b"Host: x\r\nContent-Length: 4\r\n\r\nbody"
+    )
+    assert request.method == "POST"
+    assert request.path == "/function/fn-a"
+    assert request.headers["host"] == "x"
+    assert request.body == b"body"
+
+
+def test_read_request_clean_eof_returns_none():
+    assert _parse(b"") is None
+
+
+def test_read_request_json_helper():
+    request = _parse(
+        b"POST / HTTP/1.1\r\nContent-Length: 13\r\n\r\n" + b'{"a": [1, 2]}'
+    )
+    assert request.json() == {"a": [1, 2]}
+    assert _parse(b"GET / HTTP/1.1\r\n\r\n").json() is None
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        b"GARBAGE\r\n\r\n",  # malformed request line
+        b"GET / SPDY/9\r\n\r\n",  # not HTTP/1.x
+        b"GET / HTTP/1.1\r\nno-colon-header\r\n\r\n",  # malformed header
+        b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",  # bad length
+        b"GET / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",  # negative length
+        b"GET / HTTP",  # connection died mid-headers
+    ],
+)
+def test_read_request_rejects_malformed(raw: bytes):
+    with pytest.raises(http.HttpProtocolError):
+        _parse(raw)
+
+
+def test_read_request_rejects_oversized_header_block():
+    raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * (2 * http.MAX_HEADER_BYTES) + b"\r\n\r\n"
+    with pytest.raises(http.HttpProtocolError, match="too large"):
+        _parse(raw)
+
+
+def test_read_request_rejects_oversized_body():
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(http.MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(http.HttpProtocolError, match="out of range"):
+        _parse(raw)
+
+
+def test_response_bytes_framing():
+    raw = http.json_response(200, {"ok": True})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Connection: close" in head
+    assert f"Content-Length: {len(body)}".encode() in head
+    assert json.loads(body) == {"ok": True}
+
+
+def test_response_bytes_stream_omits_content_length():
+    raw = http.response_bytes(200, content_type="application/x-ndjson", stream=True)
+    assert b"Content-Length" not in raw
+    assert raw.endswith(b"\r\n\r\n")
+
+
+def test_client_server_round_trip_over_sockets():
+    async def scenario() -> None:
+        async def handler(reader, writer):
+            request = await http.read_request(reader)
+            writer.write(
+                http.json_response(200, {"echo": request.path, "method": request.method})
+            )
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            response = await http.request("127.0.0.1", port, "GET", "/ping")
+            assert response.status == 200
+            assert response.json() == {"echo": "/ping", "method": "GET"}
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_client_times_out_on_silent_server():
+    async def scenario() -> None:
+        async def handler(reader, writer):
+            await asyncio.sleep(30.0)  # never responds
+
+        server = await asyncio.start_server(handler, host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            with pytest.raises(asyncio.TimeoutError):
+                await http.request("127.0.0.1", port, "GET", "/", timeout=0.1)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_client_raises_oserror_when_nothing_listens(dead_port: int):
+    async def scenario() -> None:
+        with pytest.raises(OSError):
+            await http.request("127.0.0.1", dead_port, "GET", "/", timeout=1.0)
+
+    asyncio.run(scenario())

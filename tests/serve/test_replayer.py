@@ -1,0 +1,230 @@
+"""Replayer: DES-identical arrivals, retries, hedging, dead-server handling."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.scenario.spec import Scenario
+from repro.serve import ReplayConfig, ReplayError, Replayer, arrival_schedule, http
+from tests.serve.liveutils import dead_port, tiny_scenario  # noqa: F401  (fixtures)
+
+
+# -- arrival schedule: the whole point is DES identity -------------------------
+
+
+def test_arrival_schedule_is_deterministic(tiny_scenario: Scenario):
+    first = arrival_schedule(tiny_scenario)
+    second = arrival_schedule(tiny_scenario)
+    assert first == second
+    assert list(first) == ["fn-a"]
+    offsets = first["fn-a"]
+    assert len(offsets) > 0
+    assert offsets == sorted(offsets)
+    assert all(0.0 <= t <= 2.0 for t in offsets)
+
+
+def test_arrival_schedule_is_seed_sensitive(tiny_scenario: Scenario):
+    reseeded = dataclasses.replace(tiny_scenario, seed=tiny_scenario.seed + 1)
+    assert arrival_schedule(tiny_scenario) != arrival_schedule(reseeded)
+
+
+def test_arrival_schedule_matches_des_submitted_count(tiny_scenario: Scenario):
+    from repro.platform import FaSTGShare
+
+    report = FaSTGShare.run_scenario(tiny_scenario)
+    scheduled = sum(len(times) for times in arrival_schedule(tiny_scenario).values())
+    assert report.submitted == scheduled
+
+
+# -- a scriptable fake server for client-behavior tests ------------------------
+
+
+class FakeServer:
+    """Answers /healthz with 200 and /function/* via a supplied script."""
+
+    def __init__(self, on_function):
+        self._on_function = on_function
+        self._server: asyncio.Server | None = None
+        self.function_hits = 0
+
+    async def __aenter__(self) -> "FakeServer":
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await http.read_request(reader)
+            if request is None:
+                return
+            if request.path == "/healthz":
+                writer.write(http.json_response(200, {"status": "ok"}))
+            else:
+                self.function_hits += 1
+                result = await self._on_function(self.function_hits)
+                if result is None:
+                    return  # slam the connection shut without responding
+                status, payload = result
+                writer.write(http.json_response(status, payload))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+
+def _client(port: int, **overrides) -> ReplayConfig:
+    defaults = dict(port=port, timeout_s=2.0, retries=2, backoff_s=0.01, backoff_cap_s=0.05)
+    defaults.update(overrides)
+    return ReplayConfig(**defaults)
+
+
+def test_fire_retries_5xx_then_succeeds(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        async def script(hit: int):
+            if hit == 1:
+                return 503, {"error": "warming up"}
+            return 200, {"latency_ms": 5.0}
+
+        async with FakeServer(script) as fake:
+            replayer = Replayer(tiny_scenario, _client(fake.port))
+            await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+            assert replayer.stats.ok == 1
+            assert replayer.stats.rejected == 1
+            assert replayer.stats.retries == 1
+            assert replayer.stats.latency_ms_sum == pytest.approx(5.0)
+            assert fake.function_hits == 2
+
+    asyncio.run(scenario())
+
+
+def test_fire_does_not_retry_non_retryable_status(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        async def script(hit: int):
+            return 404, {"error": "unknown function"}
+
+        async with FakeServer(script) as fake:
+            replayer = Replayer(tiny_scenario, _client(fake.port))
+            await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+            assert replayer.stats.rejected == 1
+            assert replayer.stats.retries == 0
+            assert fake.function_hits == 1
+
+    asyncio.run(scenario())
+
+
+def test_fire_gives_up_after_retry_budget(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        async def script(hit: int):
+            return 503, {"error": "always overloaded"}
+
+        async with FakeServer(script) as fake:
+            replayer = Replayer(tiny_scenario, _client(fake.port, retries=2))
+            await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+            assert replayer.stats.ok == 0
+            assert replayer.stats.rejected == 3  # initial + 2 retries
+            assert replayer.stats.retries == 2
+
+    asyncio.run(scenario())
+
+
+def test_hedged_request_wins_over_stalled_primary(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        async def script(hit: int):
+            if hit == 1:
+                await asyncio.sleep(1.0)  # primary stalls well past the hedge delay
+            return 200, {"latency_ms": 1.0}
+
+        async with FakeServer(script) as fake:
+            replayer = Replayer(tiny_scenario, _client(fake.port, hedge_s=0.05))
+            await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+            assert replayer.stats.ok == 1
+            assert replayer.stats.hedged == 1
+            assert replayer.stats.hedge_wins == 1
+            assert replayer.stats.retries == 0
+
+    asyncio.run(scenario())
+
+
+def test_hedge_not_fired_when_primary_is_fast(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        async def script(hit: int):
+            return 200, {"latency_ms": 1.0}
+
+        async with FakeServer(script) as fake:
+            replayer = Replayer(tiny_scenario, _client(fake.port, hedge_s=5.0))
+            await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+            assert replayer.stats.ok == 1
+            assert replayer.stats.hedged == 0
+
+    asyncio.run(scenario())
+
+
+# -- death handling: no hangs, clear errors ------------------------------------
+
+
+def test_unreachable_server_is_declared_dead(tiny_scenario: Scenario, dead_port: int):
+    async def scenario() -> None:
+        replayer = Replayer(tiny_scenario, _client(dead_port))
+        await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+        assert replayer.stats.conn_errors == 1
+        assert replayer._dead.is_set()
+        # later arrivals are abandoned instead of hammering a corpse
+        await replayer._fire("fn-a", 0.0, asyncio.get_running_loop().time())
+        assert replayer.stats.abandoned == 1
+
+    asyncio.run(scenario())
+
+
+def test_run_without_server_raises_clear_error(tiny_scenario: Scenario, dead_port: int):
+    async def scenario() -> None:
+        with pytest.raises(ReplayError, match="no live server answering"):
+            await Replayer(tiny_scenario, _client(dead_port)).run()
+
+    asyncio.run(scenario())
+
+
+def test_run_raises_on_mid_replay_death(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        fake: FakeServer | None = None
+
+        async def script(hit: int):
+            # First invoke kills the server: close every later connection too.
+            fake._server.close()
+            return None
+
+        fake = FakeServer(script)
+        async with fake:
+            config = _client(fake.port, retries=0)
+            with pytest.raises(ReplayError, match="server died mid-replay"):
+                await Replayer(tiny_scenario, config).run()
+
+    asyncio.run(scenario())
+
+
+def test_run_rejects_bad_speed(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        with pytest.raises(ReplayError, match="--speed"):
+            await Replayer(tiny_scenario, ReplayConfig(speed=0.0)).run()
+
+    asyncio.run(scenario())
+
+
+def test_stats_to_dict_reports_mean_latency():
+    from repro.serve import ReplayStats
+
+    stats = ReplayStats(submitted=2, ok=2, latency_ms_sum=30.0)
+    data = stats.to_dict()
+    assert data["latency_ms_mean"] == pytest.approx(15.0)
+    assert "latency_ms_sum" not in data
+    assert ReplayStats().to_dict()["latency_ms_mean"] == 0.0

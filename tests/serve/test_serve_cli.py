@@ -1,0 +1,137 @@
+"""CLI contracts: serve/replay exit codes, clear errors, no hangs."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.__main__ import main
+from repro.serve import http
+from tests.serve.liveutils import TINY_SPEC, free_port
+
+
+@pytest.fixture
+def spec_path(tmp_path) -> str:
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SPEC))
+    return str(path)
+
+
+def test_replay_against_no_server_exits_1(spec_path: str, capsys):
+    code = main(["replay", spec_path, "--port", str(free_port()), "--retries", "0"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "no live server answering" in err
+    assert "python -m repro serve" in err  # tells the user how to fix it
+
+
+def test_serve_port_in_use_exits_1(spec_path: str, capsys):
+    with socket.socket() as occupier:
+        occupier.bind(("127.0.0.1", 0))
+        occupier.listen(1)
+        port = occupier.getsockname()[1]
+        code = main(["serve", spec_path, "--port", str(port)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "cannot bind" in err
+    assert "already listening" in err
+
+
+def test_replay_mid_server_death_exits_1(spec_path: str, capsys):
+    """A server that dies mid-replay must abort the client, not hang it."""
+    port_box: list[int] = []
+    ready = threading.Event()
+
+    async def dying_server() -> None:
+        server: asyncio.Server | None = None
+        closed = asyncio.Event()
+
+        async def handler(reader, writer) -> None:
+            try:
+                request = await http.read_request(reader)
+                if request is None:
+                    return
+                if request.path == "/healthz" and not closed.is_set():
+                    writer.write(http.json_response(200, {"status": "ok"}))
+                    await writer.drain()
+                else:
+                    # First invoke: drop the connection AND stop listening.
+                    server.close()
+                    closed.set()
+            except ConnectionError:
+                pass
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port_box.append(server.sockets[0].getsockname()[1])
+        ready.set()
+        await asyncio.wait_for(closed.wait(), timeout=30.0)
+        await server.wait_closed()
+
+    thread = threading.Thread(target=lambda: asyncio.run(dying_server()), daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10.0)
+
+    code = main(["replay", spec_path, "--port", str(port_box[0]), "--retries", "0"])
+    thread.join(timeout=10.0)
+    assert code == 1
+    assert "server died mid-replay" in capsys.readouterr().err
+
+
+def test_serve_then_replay_cli_round_trip(spec_path: str, tmp_path, capsys):
+    """Both CLIs end to end: serve in a thread, replay against it, check outputs."""
+    port = free_port()
+    server_out = tmp_path / "server_report.json"
+    replay_out = tmp_path / "replay_report.json"
+    serve_code: list[int] = []
+
+    def run_server() -> None:
+        serve_code.append(
+            main(["serve", spec_path, "--port", str(port), "--output", str(server_out)])
+        )
+
+    thread = threading.Thread(target=run_server, daemon=True)
+    thread.start()
+
+    async def wait_healthy() -> None:
+        for _ in range(100):
+            try:
+                response = await http.request("127.0.0.1", port, "GET", "/healthz",
+                                              timeout=1.0)
+                if response.status == 200:
+                    return
+            except (OSError, asyncio.TimeoutError):
+                pass
+            await asyncio.sleep(0.05)
+        raise AssertionError("server never became healthy")
+
+    asyncio.run(wait_healthy())
+    code = main(["replay", spec_path, "--port", str(port), "--output", str(replay_out)])
+    thread.join(timeout=60.0)
+
+    assert code == 0
+    assert serve_code == [0]
+    out = capsys.readouterr().out
+    assert "Live replay of 'tiny-live'" in out
+    assert ", live)" in out  # the server printed the live report summary
+
+    saved_server = json.loads(server_out.read_text())
+    saved_replay = json.loads(replay_out.read_text())
+    assert saved_server["mode"] == "live"
+    assert saved_replay["mode"] == "live"
+    assert saved_replay["client"]["ok"] == saved_replay["totals"]["submitted"]
+    # Same drained window, reported by both ends.
+    assert saved_server["totals"] == saved_replay["totals"]
+
+
+def test_replay_rejects_malformed_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["replay", str(bad)]) == 2
+    assert main(["serve", str(bad)]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""LiveServer: routes, invoke lifecycle, drain protocol, failure modes."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro.scenario.spec import Scenario
+from repro.serve import LiveServer, ServeConfig, ServeError, http
+from tests.serve.liveutils import tiny_scenario  # noqa: F401  (fixture)
+
+
+async def _started(scenario: Scenario, **overrides) -> LiveServer:
+    config = ServeConfig(port=0, **overrides)
+    server = LiveServer(scenario, config)
+    await server.start()
+    return server
+
+
+async def _get(server: LiveServer, path: str, timeout: float = 10.0) -> http.HttpResponse:
+    return await http.request("127.0.0.1", server.port, "GET", path, timeout=timeout)
+
+
+async def _post(server: LiveServer, path: str, timeout: float = 60.0) -> http.HttpResponse:
+    return await http.request("127.0.0.1", server.port, "POST", path, timeout=timeout)
+
+
+def test_routes_health_stats_and_404s(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        server = await _started(tiny_scenario)
+        try:
+            health = await _get(server, "/healthz")
+            assert health.status == 200
+            assert health.json() == {
+                "status": "ok",
+                "scenario": "tiny-live",
+                "mode": "live",
+                "draining": False,
+            }
+
+            stats = (await _get(server, "/stats")).json()
+            assert stats["clock"] == "wall"
+            assert stats["draining"] is False
+            assert stats["functions"] == {"fn-a": {"submitted": 0, "pending": 0}}
+            assert stats["horizon_s"] == pytest.approx(2.0)
+
+            assert (await _get(server, "/nope")).status == 404
+            missing = await _post(server, "/function/ghost")
+            assert missing.status == 404
+            assert missing.json()["known"] == ["fn-a"]
+
+            # telemetry is off in the tiny spec: the stream endpoint refuses
+            stream = await _get(server, "/telemetry/stream")
+            assert stream.status == 409
+            assert "telemetry disabled" in stream.json()["error"]
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_invoke_then_drain_produces_live_report(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        server = await _started(tiny_scenario)
+        try:
+            assert (await _get(server, "/report")).status == 409
+
+            done = await _post(server, "/function/fn-a")
+            assert done.status == 200
+            body = done.json()
+            assert body["function"] == "fn-a"
+            assert body["latency_ms"] > 0.0
+            assert body["queue_wait_ms"] >= 0.0
+            assert body["replica"]
+
+            drained = await _post(server, "/drain")
+            assert drained.status == 200
+            payload = drained.json()
+            assert payload["benchmark"] == "scenario"
+            assert payload["mode"] == "live"
+            assert payload["totals"]["submitted"] == 1
+            assert payload["totals"]["completed"] == 1
+            assert server.report is not None and server.report.mode == "live"
+
+            # draining: no new invokes, report now served, drain idempotent
+            assert (await _post(server, "/function/fn-a")).status == 503
+            assert (await _get(server, "/report")).json() == payload
+            assert (await _post(server, "/drain")).json() == payload
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_request_deadline_returns_504(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        # A deadline far below any real service time forces the 504 path.
+        server = await _started(tiny_scenario, deadline_s=1e-6)
+        try:
+            response = await _post(server, "/function/fn-a")
+            assert response.status == 504
+            body = response.json()
+            assert body["error"] == "deadline exceeded"
+            assert body["deadline_s"] == pytest.approx(1e-6)
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_connection_cap_rejects_with_503(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        server = await _started(tiny_scenario, max_connections=0)
+        try:
+            response = await _get(server, "/healthz")
+            assert response.status == 503
+            assert "connection limit" in response.json()["error"]
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_port_in_use_raises_clear_serve_error(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        first = await _started(tiny_scenario)
+        try:
+            second = LiveServer(tiny_scenario, ServeConfig(port=first.port))
+            with pytest.raises(ServeError, match="cannot bind"):
+                await second.start()
+        finally:
+            await first.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_double_start_refused(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        server = await _started(tiny_scenario)
+        try:
+            with pytest.raises(ServeError, match="already started"):
+                await server.start()
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_malformed_request_gets_400(tiny_scenario: Scenario):
+    async def scenario() -> None:
+        server = await _started(tiny_scenario)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"NOT A REQUEST\r\n\r\n")
+            await writer.drain()
+            head = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            assert head.startswith(b"HTTP/1.1 400")
+            writer.close()
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())
+
+
+def test_telemetry_stream_emits_live_ndjson(tiny_scenario: Scenario):
+    observed = dataclasses.replace(
+        tiny_scenario,
+        measurement=dataclasses.replace(tiny_scenario.measurement, telemetry=True),
+    )
+
+    async def scenario() -> None:
+        server = await _started(observed)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(
+                f"GET /telemetry/stream HTTP/1.1\r\nHost: x:{server.port}\r\n\r\n".encode()
+            )
+            await writer.drain()
+            head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+            assert head.startswith(b"HTTP/1.1 200")
+            assert b"application/x-ndjson" in head
+
+            assert (await _post(server, "/function/fn-a")).status == 200
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            event = json.loads(line)
+            assert {"time", "source", "kind"} <= set(event)
+            writer.close()
+
+            payload = (await _post(server, "/drain")).json()
+            assert payload["mode"] == "live"
+            assert "telemetry" in payload  # the drained report keeps the block
+        finally:
+            await server.aclose()
+
+    asyncio.run(scenario())

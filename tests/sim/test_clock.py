@@ -1,0 +1,188 @@
+"""Clock layer: SimClock equivalence, WallClock monotonicity, driver pacing."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.serve import EngineDriver
+from repro.sim import Engine, SimClock, WallClock
+
+
+# -- SimClock: the default mode must be indistinguishable from the old engine --
+
+
+def _randomized_firing_log(engine: Engine, seed: int) -> list[tuple[float, str]]:
+    """Drive a randomized schedule/cancel workload; return the firing order."""
+    rng = random.Random(seed)
+    log: list[tuple[float, str]] = []
+    handles = []
+
+    def fire(tag: str) -> None:
+        log.append((engine.now, tag))
+        # Callbacks re-schedule and cancel mid-run, like real subsystems do.
+        if rng.random() < 0.4:
+            handles.append(engine.schedule(rng.uniform(0.0, 5.0), fire, f"{tag}+"))
+        if handles and rng.random() < 0.3:
+            handles.pop(rng.randrange(len(handles))).cancel()
+
+    for index in range(200):
+        handles.append(engine.schedule_at(rng.uniform(0.0, 50.0), fire, f"t{index}"))
+    for _ in range(40):
+        handles.pop(rng.randrange(len(handles))).cancel()
+    engine.run(until=30.0)
+    engine.run()
+    return log
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+def test_simclock_reproduces_default_engine_semantics(seed: int):
+    baseline = _randomized_firing_log(Engine(seed=seed), seed)
+    explicit = _randomized_firing_log(Engine(seed=seed, clock=SimClock()), seed)
+    assert explicit == baseline
+    assert len(baseline) > 100  # the workload actually exercised the heap
+
+
+def test_default_engine_clock_is_sim_and_tracks_now():
+    engine = Engine()
+    assert isinstance(engine.clock, SimClock)
+    assert engine.clock.mode == "sim"
+    assert engine.clock.now() == engine.now == 0.0
+    engine.schedule(3.5, lambda: None)
+    engine.run()
+    assert engine.clock.now() == engine.now == 3.5
+
+
+def test_unbound_simclock_reads_zero():
+    assert SimClock().now() == 0.0
+
+
+def test_use_clock_swaps_and_binds():
+    engine = Engine()
+    wall = WallClock(time_fn=lambda: 100.0)
+    engine.use_clock(wall)
+    assert engine.clock is wall
+    assert engine.clock.mode == "wall"
+
+
+# -- WallClock: anchoring, monotonicity under a jittering source --------------
+
+
+def test_wallclock_reads_origin_until_started():
+    clock = WallClock(time_fn=lambda: 42.0)
+    assert not clock.started
+    assert clock.now() == 0.0
+    clock.start(origin=17.0)
+    assert clock.started
+    assert clock.now() == pytest.approx(17.0)
+
+
+def test_wallclock_anchors_elapsed_time_at_origin():
+    ticks = iter([100.0, 100.0, 101.5, 104.0])
+    clock = WallClock(time_fn=lambda: next(ticks))
+    clock.start(origin=10.0)  # consumes the epoch reading
+    assert clock.now() == pytest.approx(10.0)
+    assert clock.now() == pytest.approx(11.5)
+    assert clock.now() == pytest.approx(14.0)
+
+
+def test_wallclock_never_reads_backwards():
+    jitter = iter([0.0, 1.0, 0.25, 0.5, 2.0])  # source jumps backwards twice
+    clock = WallClock(time_fn=lambda: next(jitter))
+    clock.start(origin=5.0)
+    readings = [clock.now() for _ in range(4)]
+    assert readings == pytest.approx([6.0, 6.0, 6.0, 7.0])
+    assert readings == sorted(readings)
+
+
+def test_wallclock_start_twice_raises():
+    clock = WallClock(time_fn=lambda: 0.0)
+    clock.start()
+    with pytest.raises(RuntimeError, match="already started"):
+        clock.start()
+
+
+# -- on_schedule hook: the driver's wakeup signal ------------------------------
+
+
+def test_on_schedule_hook_sees_every_new_timer():
+    engine = Engine()
+    seen: list[float] = []
+    engine.on_schedule = seen.append
+    engine.schedule_at(2.0, lambda: None)
+    engine.schedule(1.0, lambda: None)
+    assert seen == [2.0, 1.0]
+    engine.on_schedule = None
+    engine.schedule_at(9.0, lambda: None)
+    assert seen == [2.0, 1.0]
+
+
+# -- EngineDriver: wall pacing on asyncio --------------------------------------
+
+
+def _wall_engine(tick_s: float = 0.02) -> tuple[Engine, EngineDriver]:
+    engine = Engine()
+    clock = WallClock()
+    engine.use_clock(clock)
+    clock.start(origin=engine.now)
+    return engine, EngineDriver(engine, clock, tick_s=tick_s)
+
+
+def test_driver_rejects_bad_tick():
+    engine = Engine()
+    clock = WallClock()
+    engine.use_clock(clock)
+    clock.start()
+    with pytest.raises(ValueError, match="tick_s"):
+        EngineDriver(engine, clock, tick_s=0.0)
+
+
+def test_driver_fires_timers_at_their_wall_instant():
+    async def scenario() -> None:
+        engine, driver = _wall_engine()
+        fired = asyncio.get_running_loop().create_future()
+        engine.schedule(0.05, lambda: fired.set_result(engine.now))
+        driver.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            driver.start()
+        when = await asyncio.wait_for(fired, timeout=2.0)
+        assert when >= 0.05
+        await driver.stop()
+        assert not driver.running
+
+    asyncio.run(scenario())
+
+
+def test_driver_call_stamps_work_at_wall_now_and_wakes_loop():
+    async def scenario() -> None:
+        engine, driver = _wall_engine(tick_s=5.0)  # idle heartbeat far away
+        driver.start()
+        await asyncio.sleep(0.05)
+        fired = asyncio.get_running_loop().create_future()
+
+        def inject() -> float:
+            engine.schedule(0.01, lambda: fired.set_result(engine.now))
+            return engine.now
+
+        stamped = driver.call(inject)
+        assert stamped >= 0.05  # advanced to wall now before running fn
+        # The wakeup must beat the 5 s heartbeat by a wide margin.
+        await asyncio.wait_for(fired, timeout=1.0)
+        await driver.stop()
+
+    asyncio.run(scenario())
+
+
+def test_driver_stop_is_prompt_and_cancel_safe_while_idle():
+    async def scenario() -> None:
+        engine, driver = _wall_engine(tick_s=10.0)  # would sleep ~10 s idle
+        driver.start()
+        await asyncio.sleep(0.02)
+        assert driver.running
+        await asyncio.wait_for(driver.stop(), timeout=1.0)
+        assert not driver.running
+        assert engine.on_schedule is None  # hook detached on stop
+
+    asyncio.run(scenario())
