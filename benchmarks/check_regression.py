@@ -46,6 +46,14 @@ dispatched on the baseline's ``benchmark`` field:
   tolerance, or when the headline stops holding — memtier must stay
   strictly cheaper in GPU-seconds than both scale-to-zero and WARM_IDLE-only
   at an equal-or-better violation rate.
+* ``migrate`` — the defragmentation comparison (``BENCH_migrate.json``).
+  Deterministic replays: the gate fails when either cell's violation rate
+  grows past the tolerance (plus the epsilon), when the defrag-on cell's
+  mean-GPU count grows past the tolerance over its baseline, when the
+  mean-GPU saving shrinks by more than the tolerance, or when the headline
+  stops holding — defrag-on must keep strictly improving the fragmented
+  fleet (fewer mean GPUs at equal-or-better effective violations, or
+  strictly fewer violations at equal-or-fewer GPUs).
 
 Usage::
 
@@ -70,7 +78,7 @@ PREWARM_ABS_EPSILON = 0.005
 
 def load_report(
     path: str,
-    kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep", "swap", "serve"),
+    kinds: tuple[str, ...] = ("engine", "prewarm", "scenario", "sweep", "swap", "serve", "migrate"),
 ) -> dict:
     with open(path, "r", encoding="utf-8") as fh:
         report = json.load(fh)
@@ -293,6 +301,72 @@ def check_swap(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_migrate(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Migrate-report gate: per-cell regressions plus the improvement headline."""
+    failures: list[str] = []
+    key = ("trace", "nodes", "fleet_size", "threshold")
+    base_id = [baseline.get(k) for k in key]
+    fresh_id = [fresh.get(k) for k in key]
+    if base_id != fresh_id:
+        raise ValueError(
+            "migrate-bench mismatch: the gate compares deterministic replays of "
+            f"the same fleet/cluster/trace — baseline {base_id} vs fresh {fresh_id}"
+        )
+    shared = sorted(set(baseline["cells"]) & set(fresh["cells"]))
+    if not shared:
+        raise ValueError("no common cells between baseline and fresh migrate reports")
+    for cell in shared:
+        base_rate = float(baseline["cells"][cell]["effective_violation_ratio"])
+        fresh_rate = float(fresh["cells"][cell]["effective_violation_ratio"])
+        bound = base_rate * (1.0 + tolerance) + PREWARM_ABS_EPSILON
+        marker = "  [REGRESSION]" if fresh_rate > bound else ""
+        print(
+            f"eff_violation_ratio[{cell:<4}]: baseline {100 * base_rate:6.2f}%   "
+            f"fresh {100 * fresh_rate:6.2f}%   bound {100 * bound:6.2f}%{marker}"
+        )
+        if fresh_rate > bound:
+            failures.append(
+                f"{cell}: effective violation rate regressed {100 * base_rate:.2f}% "
+                f"-> {100 * fresh_rate:.2f}% (bound {100 * bound:.2f}%)"
+            )
+        base_gpus = float(baseline["cells"][cell]["mean_gpus"])
+        fresh_gpus = float(fresh["cells"][cell]["mean_gpus"])
+        gpu_bound = base_gpus * (1.0 + tolerance)
+        marker = "  [REGRESSION]" if fresh_gpus > gpu_bound else ""
+        print(
+            f"mean_gpus          [{cell:<4}]: baseline {base_gpus:7.2f}    "
+            f"fresh {fresh_gpus:7.2f}    bound {gpu_bound:7.2f}{marker}"
+        )
+        if fresh_gpus > gpu_bound:
+            failures.append(
+                f"{cell}: mean GPUs regressed {base_gpus:.2f} -> {fresh_gpus:.2f} "
+                f"(bound {gpu_bound:.2f})"
+            )
+    base_head = baseline.get("headline") or {}
+    fresh_head = fresh.get("headline") or {}
+    if not fresh_head.get("improves", False):
+        failures.append(
+            "defrag-on no longer strictly improves the fragmented fleet: it must "
+            "use fewer mean GPUs at <= effective violations (or fewer violations "
+            "at <= GPUs) than defrag-off"
+        )
+    if "mean_gpus_saving" in base_head and "mean_gpus_saving" in fresh_head:
+        base_saving = float(base_head["mean_gpus_saving"])
+        fresh_saving = float(fresh_head["mean_gpus_saving"])
+        shrink = base_saving - fresh_saving
+        note = "  [REGRESSION]" if shrink > tolerance * max(base_saving, 0.0) else ""
+        print(
+            f"mean_gpus_saving           : baseline {100 * base_saving:6.2f}%   "
+            f"fresh {100 * fresh_saving:6.2f}%{note}"
+        )
+        if shrink > tolerance * max(base_saving, 0.0):
+            failures.append(
+                f"mean_gpus_saving: defrag-on saving shrank {100 * base_saving:.2f}% "
+                f"-> {100 * fresh_saving:.2f}%"
+            )
+    return failures
+
+
 def check_serve(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Live-serve gate: robust counters of a wall-clock replay vs the baseline.
 
@@ -449,6 +523,8 @@ def main(argv: list[str] | None = None) -> int:
             failures = check_sweep(baseline, fresh, args.tolerance)
         elif kind == "swap":
             failures = check_swap(baseline, fresh, args.tolerance)
+        elif kind == "migrate":
+            failures = check_migrate(baseline, fresh, args.tolerance)
         else:
             failures = check(baseline, fresh, args.tolerance)
     except (OSError, ValueError, KeyError) as exc:

@@ -17,6 +17,7 @@ Usage::
     python -m repro cluster-bench --quick        # writes BENCH_cluster.json
     python -m repro prewarm-bench --quick        # writes BENCH_prewarm.json
     python -m repro swap-bench --quick           # writes BENCH_swap.json
+    python -m repro migrate-bench --quick        # writes BENCH_migrate.json
 
 Each subcommand owns its flags (``--nodes`` belongs to the cluster benches,
 ``--output`` to whatever report that subcommand writes) instead of leaking
@@ -63,6 +64,11 @@ WARM_IDLE-only, and the swap-aware memory tier — and reports GPU-seconds vs
 effective SLO violations (never-served requests count as violations); see
 :mod:`repro.experiments.swap_bench`.
 
+``migrate-bench`` replays a deliberately fragmented spread-placement fleet
+with background defragmentation off and on (live migration; see
+:mod:`repro.migrate`) and reports mean GPUs vs effective violations; see
+:mod:`repro.experiments.migrate_bench`.
+
 Any invalid invocation (unknown subcommand, bad ``--nodes``/``--policies``
 value, malformed scenario) exits non-zero with a usage message, and an
 experiment that raises exits 1 — CI cannot silently pass on a typo'd run.
@@ -89,6 +95,7 @@ def _cmd_list() -> int:
     print("cluster-bench  Heterogeneous-cluster trace replay (writes BENCH_cluster.json).")
     print("prewarm-bench  Reactive-vs-predictive autoscaling replay (writes BENCH_prewarm.json).")
     print("swap-bench Long-tail keep-alive vs memory-tier replay (writes BENCH_swap.json).")
+    print("migrate-bench  Defragmentation on-vs-off replay (writes BENCH_migrate.json).")
     return 0
 
 
@@ -518,6 +525,47 @@ def _cmd_swap_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         return 1
 
 
+def _cmd_migrate_bench(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import migrate_bench
+    from repro.gpu.specs import GPU_CATALOG
+
+    if args.nodes is None:
+        nodes = None  # module defaults (quick vs full shapes)
+    else:
+        nodes = [n.upper() for n in _split_csv(args.nodes)]
+        if not nodes:
+            parser.error("--nodes needs at least one GPU type")
+        for name in nodes:
+            if name not in GPU_CATALOG:
+                parser.error(f"unknown GPU type {name!r}; known: {sorted(GPU_CATALOG)}")
+    threshold = (
+        migrate_bench.DEFRAG_THRESHOLD if args.threshold is None else args.threshold
+    )
+    if not 0.0 < threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1), got {threshold}")
+    try:
+        result = migrate_bench.run(
+            quick=args.quick,
+            seed=args.seed,
+            nodes=nodes,
+            fleet_size=args.fleet_size,
+            threshold=threshold,
+            jobs=args.jobs,
+        )
+        print(migrate_bench.format_result(result))
+        migrate_bench.write_migrate_report(args.output, result)
+        print(f"[report written to {args.output}]")
+        return 0
+    except BrokenPipeError:  # e.g. `python -m repro migrate-bench | head`
+        return 0
+    except Exception as exc:  # bench blow-up: exit non-zero
+        import traceback
+
+        traceback.print_exc()
+        print(f"error: migrate-bench: {exc}", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -842,6 +890,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the per-policy replays "
         "(default: 1 = serial; bit-identical to serial)",
     )
+
+    p_migrate = sub.add_parser(
+        "migrate-bench", help="defragmentation on-vs-off replay (live migration)"
+    )
+    p_migrate.add_argument("--quick", action="store_true")
+    p_migrate.add_argument("--seed", type=int, default=42)
+    p_migrate.add_argument(
+        "--nodes",
+        default=None,
+        metavar="GPUS",
+        help="comma-separated per-node GPU types (default: the bench's shape)",
+    )
+    p_migrate.add_argument(
+        "--fleet-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="burst-then-decay functions in the fleet (default: the bench's shape)",
+    )
+    p_migrate.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="F",
+        help="defrag trigger threshold in (0, 1) for the 'on' cell "
+        "(default: the bench's)",
+    )
+    p_migrate.add_argument(
+        "--output",
+        default="BENCH_migrate.json",
+        metavar="PATH",
+        help="where to write the JSON report",
+    )
+    p_migrate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the two cells "
+        "(default: 1 = serial; bit-identical to serial)",
+    )
     return parser
 
 
@@ -868,6 +957,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "swap-bench":
         return _cmd_swap_bench(args, parser)
+    if args.command == "migrate-bench":
+        return _cmd_migrate_bench(args, parser)
     return _cmd_cluster_like(args, parser)
 
 

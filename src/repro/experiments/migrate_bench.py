@@ -1,0 +1,337 @@
+"""Migrate-bench — the defragmentation headline: live migration on vs off
+over a deliberately fragmented spread-placement fleet.
+
+The fleet is engineered to fragment: every function bursts at once under
+``spread`` placement (which scatters replicas one-per-GPU by design), then
+decays to a trickle.  The autoscaler scales the burst replicas away, but
+the survivors — one small rectangle per function — are stranded one per
+GPU: every node is nearly free, yet no node *is* free.  Cluster
+fragmentation (1 − largest-free-rectangle / total-free) stays high for the
+whole tail, and the cluster holds many more GPUs than the workload needs.
+
+Two cells replay the same arrivals through the ``defrag`` sweep axis:
+
+* ``off`` — no migration machinery at all (``cluster.defrag`` absent), the
+  exact pre-migration platform;
+* ``on``  — the background defragmenter (:mod:`repro.migrate`): when
+  fragmentation crosses its threshold it live-migrates stragglers onto
+  shared GPUs — make-before-break, so not one request is lost — and
+  releases the emptied GPUs.
+
+Violations are counted honestly, as in swap-bench: a request never served
+in-window counts as a violation (``effective_violation_ratio``), so the
+defragmenter cannot win by dropping work mid-handoff.
+
+The acceptance bar: defrag-on must *strictly improve* the fragmented fleet
+— fewer mean GPUs at equal-or-better effective violations (or strictly
+fewer violations at equal-or-fewer GPUs).  ``python -m repro migrate-bench
+[--quick]`` runs the comparison and writes ``BENCH_migrate.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+
+from repro.scenario import (
+    AutoscalerSpec,
+    ClusterSpec,
+    MeasurementSpec,
+    Scenario,
+    ScenarioFunction,
+    WorkloadSpec,
+)
+from repro.sweep import CellResult, Sweep, SweepAxis, run_sweep
+
+#: Default cluster: homogeneous V100 nodes, sized so the burst needs most
+#: of them but the tail needs very few — maximal room to defragment.
+MIGRATE_NODES: tuple[str, ...] = ("V100",) * 6
+QUICK_MIGRATE_NODES: tuple[str, ...] = ("V100",) * 4
+
+#: Default defrag trigger threshold compared against ``off``.
+DEFRAG_THRESHOLD = 0.3
+
+#: Burst-then-decay shape: (duration_s, rps) pairs per phase.
+BURST_PHASE = (12.0, 10.0)
+TAIL_PHASE = (90.0, 0.4)
+QUICK_BURST_PHASE = (8.0, 12.0)
+QUICK_TAIL_PHASE = (30.0, 0.5)
+
+
+def fragmented_fleet(size: int) -> tuple[str, ...]:
+    """Function names of the synchronized burst-then-decay fleet."""
+    if size < 2:
+        raise ValueError("the fragmented fleet needs at least two functions")
+    return tuple(f"burst-{i:02d}" for i in range(size))
+
+
+def base_scenario(
+    fleet: _t.Sequence[str],
+    nodes: _t.Sequence[str],
+    seed: int,
+    burst: tuple[float, float],
+    tail: tuple[float, float],
+) -> Scenario:
+    """The fragmented spread-placement base Scenario (defrag *off*).
+
+    Every function bursts simultaneously (same step schedule), so ``spread``
+    placement scatters the scale-up across every node; the long low-rate
+    tail then strands one surviving replica per function, one per GPU.  The
+    base carries no ``cluster.defrag`` — the sweep's ``defrag`` axis turns
+    the defragmenter on for the comparison cell, so the ``off`` cell is the
+    byte-exact pre-migration platform.
+    """
+    functions = tuple(
+        ScenarioFunction(
+            name=name,
+            model="resnet50",
+            min_replicas=0,
+            workload=WorkloadSpec(kind="steps", steps=(burst, tail)),
+        )
+        for name in fleet
+    )
+    return Scenario(
+        name="fragmented-spread",
+        seed=seed,
+        description=(
+            "Synchronized burst-then-decay fleet under spread placement: the "
+            "decayed tail strands one replica per GPU — the live-migration "
+            "defragmentation headline scenario."
+        ),
+        cluster=ClusterSpec(nodes=tuple(nodes)),
+        autoscaler=AutoscalerSpec(
+            placement="spread", min_replicas=0, scale_down_cooldown=4.0
+        ),
+        measurement=MeasurementSpec(drain_s=5.0),
+        functions=functions,
+    )
+
+
+def sweep_for_defrag(base: Scenario, threshold: float) -> Sweep:
+    """One ``defrag`` axis (off, threshold) over the shared fragmented base."""
+    return Sweep(
+        name="migrate-defrag",
+        base=base,
+        axes=(SweepAxis(axis="defrag", values=(None, threshold)),),
+        description=(
+            "Background defragmentation on vs off over the fragmented "
+            "spread-placement fleet"
+        ),
+    )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MigrateOutcome:
+    """Replay metrics of one defrag setting over the shared trace set."""
+
+    defrag: str  # "off" | "on"
+    threshold: float | None
+    submitted: int
+    completed: int
+    slo_violation_ratio: float
+    effective_violation_ratio: float
+    p95_ms: float
+    gpu_seconds: float
+    mean_gpus: float
+    peak_gpus: int
+    migrations: int
+    migration_aborts: int
+    scale_ups: int
+    scale_downs: int
+    nofit_events: int
+
+    @property
+    def unserved_requests(self) -> int:
+        return self.submitted - self.completed
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MigrateResult:
+    """Both cells' outcomes plus the fleet/cluster metadata."""
+
+    nodes: tuple[str, ...]
+    fleet: tuple[str, ...]
+    seed: int
+    burst: tuple[float, float]
+    tail: tuple[float, float]
+    threshold: float
+    outcomes: tuple[MigrateOutcome, ...]
+
+    def outcome(self, defrag: str) -> MigrateOutcome:
+        for out in self.outcomes:
+            if out.defrag == defrag:
+                return out
+        raise KeyError(f"no outcome for defrag={defrag!r}")
+
+    @property
+    def improves(self) -> bool:
+        """Defrag-on strictly improves the fragmented fleet — the acceptance
+        bar: fewer mean GPUs at equal-or-better effective violations, or
+        strictly fewer violations at equal-or-fewer GPUs.  Effective counts
+        never-served requests, so a handoff that drops work cannot win."""
+        on, off = self.outcome("on"), self.outcome("off")
+        gpus_better = on.mean_gpus < off.mean_gpus
+        gpus_no_worse = on.mean_gpus <= off.mean_gpus
+        viol_better = on.effective_violation_ratio < off.effective_violation_ratio
+        viol_no_worse = on.effective_violation_ratio <= off.effective_violation_ratio
+        return (gpus_better and viol_no_worse) or (viol_better and gpus_no_worse)
+
+    @property
+    def mean_gpus_saving(self) -> float:
+        """1 − on ÷ off mean GPUs (positive = defrag-on cheaper)."""
+        off = self.outcome("off").mean_gpus
+        if off <= 0:
+            return 0.0
+        return 1.0 - self.outcome("on").mean_gpus / off
+
+
+def _outcome_from_cell(cell: CellResult, threshold: float) -> MigrateOutcome:
+    metrics = cell.metrics
+    submitted = metrics["submitted"]
+    completed = metrics["completed"]
+    violated = metrics["slo_violation_ratio"] * completed
+    effective = (
+        (violated + (submitted - completed)) / submitted if submitted else 0.0
+    )
+    value = dict(cell.coords)["defrag"]
+    return MigrateOutcome(
+        defrag="off" if value is None else "on",
+        threshold=None if value is None else threshold,
+        submitted=submitted,
+        completed=completed,
+        slo_violation_ratio=metrics["slo_violation_ratio"],
+        effective_violation_ratio=effective,
+        p95_ms=metrics["p95_ms"],
+        gpu_seconds=metrics["gpu_seconds"],
+        mean_gpus=metrics["mean_gpus"],
+        peak_gpus=metrics["peak_gpus"],
+        migrations=metrics.get("migrations", 0),
+        migration_aborts=metrics.get("migration_aborts", 0),
+        scale_ups=metrics["scale_ups"],
+        scale_downs=metrics["scale_downs"],
+        nofit_events=metrics["nofit_events"],
+    )
+
+
+def run(
+    quick: bool = False,
+    seed: int = 42,
+    nodes: _t.Sequence[str] | None = None,
+    fleet_size: int | None = None,
+    threshold: float = DEFRAG_THRESHOLD,
+    jobs: int = 1,
+) -> MigrateResult:
+    """Replay the fragmented fleet with defrag off and on.
+
+    ``quick`` shrinks the fleet/horizon for CI smoke (baked into the
+    scenario rather than ``Scenario.quick()``: the tail needs enough horizon
+    after the burst for fragmentation to form *and* for migrations to pay
+    off — that decayed plateau is the entire point of the comparison).
+    """
+    if nodes is None:
+        nodes = QUICK_MIGRATE_NODES if quick else MIGRATE_NODES
+    if fleet_size is None:
+        fleet_size = 6 if quick else 10
+    burst = QUICK_BURST_PHASE if quick else BURST_PHASE
+    tail = QUICK_TAIL_PHASE if quick else TAIL_PHASE
+    fleet = fragmented_fleet(fleet_size)
+    base = base_scenario(fleet, nodes, seed, burst, tail)
+    sweep = sweep_for_defrag(base, threshold)
+    sweep_report = run_sweep(sweep, jobs=jobs)
+    return MigrateResult(
+        nodes=tuple(nodes),
+        fleet=fleet,
+        seed=seed,
+        burst=burst,
+        tail=tail,
+        threshold=threshold,
+        outcomes=tuple(
+            _outcome_from_cell(cell, threshold) for cell in sweep_report.cells
+        ),
+    )
+
+
+def format_result(result: MigrateResult) -> str:
+    lines = [
+        "Migrate-bench — background defragmentation on vs off "
+        "(fragmented spread fleet)",
+        f"  nodes: {', '.join(result.nodes)}   fleet: {len(result.fleet)} functions, "
+        f"burst {result.burst[0]:.0f}s@{result.burst[1]:.0f}rps -> "
+        f"tail {result.tail[0]:.0f}s@{result.tail[1]:.1f}rps, seed {result.seed}",
+        f"  defrag threshold {result.threshold:.2f}   "
+        "(eff-viol counts never-served requests as violations)",
+        "  defrag  eff-viol%  raw-viol%  served%  mean-GPUs  peak    GPU-s  "
+        "migrations  aborts  nofit",
+    ]
+    for out in result.outcomes:
+        served = out.completed / out.submitted if out.submitted else 0.0
+        lines.append(
+            f"  {out.defrag:<7} {100 * out.effective_violation_ratio:8.2f} "
+            f"{100 * out.slo_violation_ratio:10.2f} {100 * served:8.1f} "
+            f"{out.mean_gpus:10.2f} {out.peak_gpus:5d} {out.gpu_seconds:8.0f} "
+            f"{out.migrations:11d} {out.migration_aborts:7d} {out.nofit_events:6d}"
+        )
+    try:
+        lines.append(
+            f"  defrag-on mean-GPU saving: {100 * result.mean_gpus_saving:+.1f}%"
+        )
+        lines.append(
+            "  strict improvement (fewer GPUs at <= eff-violations, or fewer "
+            f"violations at <= GPUs): {'YES' if result.improves else 'NO'}"
+        )
+    except KeyError:
+        pass  # a single-cell subset
+    return "\n".join(lines)
+
+
+def report_payload(result: MigrateResult) -> dict:
+    """The ``BENCH_migrate.json`` payload for one run."""
+    payload: dict[str, _t.Any] = {
+        "benchmark": "migrate",
+        "nodes": list(result.nodes),
+        "fleet_size": len(result.fleet),
+        "trace": {
+            "seed": result.seed,
+            "burst": list(result.burst),
+            "tail": list(result.tail),
+        },
+        "threshold": result.threshold,
+        "cells": {
+            out.defrag: {
+                "slo_violation_ratio": out.slo_violation_ratio,
+                "effective_violation_ratio": out.effective_violation_ratio,
+                "p95_ms": out.p95_ms,
+                "gpu_seconds": out.gpu_seconds,
+                "mean_gpus": out.mean_gpus,
+                "peak_gpus": out.peak_gpus,
+                "migrations": out.migrations,
+                "migration_aborts": out.migration_aborts,
+                "submitted": out.submitted,
+                "completed": out.completed,
+                "unserved_requests": out.unserved_requests,
+                "scale_ups": out.scale_ups,
+                "scale_downs": out.scale_downs,
+                "nofit_events": out.nofit_events,
+            }
+            for out in result.outcomes
+        },
+    }
+    try:
+        payload["headline"] = {
+            "improves": result.improves,
+            "mean_gpus_saving": result.mean_gpus_saving,
+            "migrations": result.outcome("on").migrations,
+        }
+    except KeyError:
+        pass
+    return payload
+
+
+def write_migrate_report(path: str, result: MigrateResult) -> dict:
+    """Serialize :func:`report_payload` to ``path``; returns the payload."""
+    payload = report_payload(result)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

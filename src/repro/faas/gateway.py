@@ -155,6 +155,36 @@ class Gateway:
             )
         return replica
 
+    def claim_specific(self, replica: "FunctionReplica") -> bool:
+        """Promote one *specific* warm replica (the migration handoff).
+
+        Unlike :meth:`claim_warm` (oldest-first), the caller names the
+        replica — a migration destination must be the pod that takes over,
+        not whichever spare happens to head the pool.  Returns False when
+        the replica is no longer in the warm pool (e.g. a parked request
+        already claimed it), which the caller treats as "already serving".
+        """
+        name = replica.function.name
+        try:
+            self._warm[name].remove(replica)
+        except ValueError:
+            return False
+        self._promoting[name] += 1
+        self.promotions += 1
+        self.promotions_by_function[name] += 1
+        replica.promote()
+        hub = self.engine.hub
+        if hub.enabled:
+            hub.emit(
+                self.engine.now,
+                "gateway",
+                "promote_warm",
+                name,
+                trigger="migrate",
+                replica=replica.replica_id,
+            )
+        return True
+
     def _promote_warm(self, function: str) -> None:
         """Promote warm replicas to absorb parked requests (one per request)."""
         warm = self._warm[function]

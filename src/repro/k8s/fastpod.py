@@ -54,11 +54,16 @@ class FaSTPodController:
         quota_request: float,
         quota_limit: float,
         warm: bool = False,
+        swap_in_mb: float | None = None,
     ) -> FunctionReplica:
         """Create + admit one replica with the given 2D resource config.
 
         ``warm=True`` creates a pre-warmed replica: it cold-starts, then
         parks in ``WARM_IDLE`` (memory held, zero quota) until promoted.
+        ``swap_in_mb`` replaces the model-load cold start with a host→GPU
+        transfer of that many MB across ``node``'s fabric — the migration
+        path, where the weights are already host-resident on the cluster
+        and the destination pays the fabric swap-in instead of a full load.
         """
         serial = next(self._serials)
         name = f"fastpod-{self.function.name}-{serial}"
@@ -80,7 +85,15 @@ class FaSTPodController:
         # process-global counter) so identical runs draw identical jitter.
         rng = self.engine.rng.stream(f"replica.{name}")
         replica = FunctionReplica(
-            self.engine, pod, container, self.function, self.gateway, rng, warm_idle=warm
+            self.engine,
+            pod,
+            container,
+            self.function,
+            self.gateway,
+            rng,
+            warm_idle=warm,
+            swap_in_mb=swap_in_mb,
+            swap_fabric=node.fabric if swap_in_mb is not None else None,
         )
         self.replicas[pod.pod_id] = replica
         return replica

@@ -166,7 +166,12 @@ class GPUNode:
                 pod.transition(PodPhase.TERMINATED)
                 return
             raise NodeError(f"pod {pod.pod_id} is not on {self.name}")
-        if pod.phase in (PodPhase.STARTING, PodPhase.WARM_IDLE, PodPhase.RUNNING):
+        if pod.phase in (
+            PodPhase.STARTING,
+            PodPhase.WARM_IDLE,
+            PodPhase.RUNNING,
+            PodPhase.MIGRATING,
+        ):
             pod.transition(PodPhase.TERMINATING)
         container.close()
         pod.transition(PodPhase.TERMINATED)

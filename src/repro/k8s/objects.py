@@ -44,6 +44,12 @@ class PodPhase(enum.Enum):
     the GPU goes through ``STARTING`` again, and its cost is the swap-in
     time across the node's transfer fabric *at the moment of promotion*
     (see :mod:`repro.memtier`).
+
+    ``MIGRATING`` marks a pod whose rectangle is being relocated (see
+    :mod:`repro.migrate`): the pod keeps serving on its source GPU while a
+    destination replica pre-warms, then drains into ``TERMINATING`` once
+    the destination takes over — or aborts back to ``RUNNING`` if the
+    destination never materializes.
     """
 
     PENDING = "Pending"
@@ -51,6 +57,7 @@ class PodPhase(enum.Enum):
     WARM_IDLE = "WarmIdle"  # pre-warmed: memory held, zero quota, not serving
     HOST_RESIDENT = "HostResident"  # weights in host RAM, nothing on the GPU
     RUNNING = "Running"
+    MIGRATING = "Migrating"  # still serving; a destination replica is pre-warming
     TERMINATING = "Terminating"
     TERMINATED = "Terminated"
 
@@ -89,6 +96,9 @@ class PodPhase(enum.Enum):
 #: * parked states only demote/terminate or restart — ``HOST_RESIDENT``
 #:   re-enters the GPU exclusively through ``STARTING`` (the swap-in), and
 #:   only ``WARM_IDLE`` pods may park (a ``RUNNING`` pod must drain first);
+#: * migration is make-before-break — only pods holding a GPU rectangle
+#:   (``RUNNING``/``WARM_IDLE``) may enter ``MIGRATING``, and a migrating
+#:   source either drains (``TERMINATING``) or aborts back to ``RUNNING``;
 #: * ``TERMINATED`` is absorbing.
 ALLOWED_TRANSITIONS: dict[PodPhase, frozenset[PodPhase]] = {
     PodPhase.PENDING: frozenset({PodPhase.STARTING, PodPhase.TERMINATED}),
@@ -96,10 +106,16 @@ ALLOWED_TRANSITIONS: dict[PodPhase, frozenset[PodPhase]] = {
         {PodPhase.WARM_IDLE, PodPhase.RUNNING, PodPhase.TERMINATING}
     ),
     PodPhase.WARM_IDLE: frozenset(
-        {PodPhase.RUNNING, PodPhase.HOST_RESIDENT, PodPhase.TERMINATING}
+        {
+            PodPhase.RUNNING,
+            PodPhase.HOST_RESIDENT,
+            PodPhase.MIGRATING,
+            PodPhase.TERMINATING,
+        }
     ),
     PodPhase.HOST_RESIDENT: frozenset({PodPhase.STARTING, PodPhase.TERMINATING}),
-    PodPhase.RUNNING: frozenset({PodPhase.TERMINATING}),
+    PodPhase.RUNNING: frozenset({PodPhase.MIGRATING, PodPhase.TERMINATING}),
+    PodPhase.MIGRATING: frozenset({PodPhase.RUNNING, PodPhase.TERMINATING}),
     PodPhase.TERMINATING: frozenset({PodPhase.TERMINATED}),
     PodPhase.TERMINATED: frozenset(),
 }

@@ -1,0 +1,29 @@
+"""Live migration & background defragmentation (PR 10).
+
+The MRA scheduler never moves a placed pod, so free space shreds over time
+— especially under the ``spread`` policy, which deliberately scatters
+rectangles one sliver per GPU.  This package adds the two missing pieces:
+
+* :class:`~repro.migrate.controller.MigrationController` — the live
+  make-before-break migration primitive: pre-warm a destination rectangle
+  (its "cold start" is the already-modeled host→GPU fabric swap at current
+  fabric load), hand new arrivals off at the gateway, promote the
+  destination, then drain and release the source.  Requests are never
+  dropped: the source's queue reroutes through the gateway and its
+  in-flight request completes before eviction.
+* :class:`~repro.migrate.defrag.Defragmenter` — a background controller
+  tick that computes per-node/cluster fragmentation
+  (largest-free-rectangle vs total free), plans min-cost consolidation
+  batches via :meth:`~repro.scheduler.mra.MaximalRectanglesScheduler.plan_migrations`
+  when fragmentation crosses its threshold, and executes them budgeted
+  per tick.
+
+Both are strictly opt-in: nothing is constructed unless a scenario carries
+a ``cluster.defrag`` block, so defrag-off runs stay byte-identical to
+pre-PR-10 pins.
+"""
+
+from repro.migrate.controller import MigrationController, MigrationRecord
+from repro.migrate.defrag import Defragmenter
+
+__all__ = ["Defragmenter", "MigrationController", "MigrationRecord"]

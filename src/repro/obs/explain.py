@@ -128,6 +128,7 @@ def _causal_chain(span: RequestSpan, events: _t.Sequence[_t.Mapping]) -> tuple[s
             ("memtier", "demote"),
             ("memtier", "evict"),
             ("scheduler", "down"),
+            ("migrate", "start"),
         ):
             removal = event
     if removal is not None:
@@ -139,6 +140,7 @@ def _causal_chain(span: RequestSpan, events: _t.Sequence[_t.Mapping]) -> tuple[s
             "evict-host": "evicted the host copy",
             "evict": "evicted the host copy",
             "down": "scaled the last capacity down",
+            "start": "begun live-migrating the pod to another GPU",
         }[removal["kind"]]
         line = f"{removal['source']} had {what} {ago:.1f}s before arrival"
         if payload.get("reason"):
@@ -172,6 +174,24 @@ def _causal_chain(span: RequestSpan, events: _t.Sequence[_t.Mapping]) -> tuple[s
                 )
             else:
                 causes.append(f"placement found no fit at t={event['time']:.1f}s")
+        elif source == "migrate" and event.get("function") == fn:
+            if kind == "start":
+                causes.append(
+                    f"replica went mid-migration at t={event['time']:.1f}s "
+                    f"({payload.get('src_node', '?')} -> {payload.get('dst_node', '?')}, "
+                    f"estimated {payload.get('estimate_s', 0.0):.2f}s)"
+                )
+            elif kind == "finish":
+                causes.append(
+                    f"migration landed on {payload.get('dst_node', '?')} "
+                    f"at t={event['time']:.1f}s "
+                    f"(took {payload.get('duration_s', 0.0):.2f}s)"
+                )
+            elif kind == "abort":
+                causes.append(
+                    f"migration aborted at t={event['time']:.1f}s "
+                    f"(source stayed on {payload.get('src_node', '?')})"
+                )
         elif payload.get("rid") == span.request_id:
             if source == "gateway" and kind == "park":
                 causes.append(
@@ -203,6 +223,7 @@ def _causal_chain(span: RequestSpan, events: _t.Sequence[_t.Mapping]) -> tuple[s
                 ("gateway", "promote_warm"),
                 ("gateway", "swap_promote"),
                 ("memtier", "promote"),
+                ("migrate", "finish"),
             ):
                 restore = event
         if restore is not None:
@@ -214,10 +235,15 @@ def _causal_chain(span: RequestSpan, events: _t.Sequence[_t.Mapping]) -> tuple[s
                 ("gateway", "promote_warm"): "gateway promoted a warm pod",
                 ("gateway", "swap_promote"): "gateway triggered a swap-in",
                 ("memtier", "promote"): "memory tier swapped the pod back in",
+                ("migrate", "finish"): "migration handed the pod over to its destination",
             }[(restore["source"], restore["kind"])]
             line = f"{what} at t={restore['time']:.1f}s"
+            if payload.get("trigger") == "migrate":
+                line += " (migration handoff)"
             if payload.get("node"):
                 line += f" on {payload['node']}"
+            elif payload.get("dst_node"):
+                line += f" on {payload['dst_node']}"
             if payload.get("estimate_s") is not None:
                 line += (
                     f" (swap estimate {payload['estimate_s']:.2f}s, "

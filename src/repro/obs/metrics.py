@@ -199,6 +199,11 @@ def build_registry(
     registry.describe("repro_placement_rejects_total", "Per-node placement rejections by reason.")
     registry.describe("repro_autoscaler_events_total", "Autoscaler decisions by action and reason.")
     registry.describe("repro_memtier_events_total", "Memory-tier lifecycle operations.")
+    registry.describe("repro_migrations_total", "Live migrations by outcome.")
+    registry.describe(
+        "repro_fragmentation_ratio",
+        "1 - largest-free-rectangle / total-free (cluster and per node).",
+    )
     registry.describe("repro_pod_transitions_total", "Pod phase transitions.")
     registry.describe("repro_telemetry_events", "Telemetry events recorded this run.")
     registry.describe("repro_telemetry_dropped", "Telemetry events dropped at the cap.")
@@ -230,6 +235,25 @@ def build_registry(
             if fn is not None:
                 labels["function"] = fn
             registry.counter("repro_memtier_events_total", **labels)
+        elif event.source == "migrate":
+            if event.kind == "frag":
+                # Gauges: the last frag tick's snapshot wins (event-exact).
+                registry.gauge(
+                    "repro_fragmentation_ratio",
+                    float(event.payload.get("cluster", 0.0)),
+                    scope="cluster",
+                )
+                for node, value in sorted(
+                    _t.cast(_t.Mapping, event.payload.get("nodes", {})).items()
+                ):
+                    registry.gauge(
+                        "repro_fragmentation_ratio", float(value), scope="node", node=node
+                    )
+            else:  # start / finish / abort
+                labels = {"outcome": event.kind}
+                if fn is not None:
+                    labels["function"] = fn
+                registry.counter("repro_migrations_total", **labels)
         elif event.source == "pod" and event.kind == "transition":
             registry.counter(
                 "repro_pod_transitions_total",

@@ -149,6 +149,11 @@ class FaSTGShare:
         #: memory tier: the replica-lifecycle API, wired by
         #: :meth:`start_autoscaler` when the cluster has host memory.
         self.lifecycle = None
+        #: live migration: the migration primitive and its background
+        #: defragmenter, wired by :meth:`start_autoscaler` when a
+        #: ``defrag`` config is given (both None otherwise).
+        self.migrator = None
+        self.defragmenter = None
         # Placement state for the manual deploy() paths.
         node_names = [n.name for n in self.cluster.nodes]
         self._mra = MaximalRectanglesScheduler(
@@ -299,6 +304,7 @@ class FaSTGShare:
         forecast_period_s: float | None = None,
         down_hysteresis: float = 0.10,
         min_replicas_by_function: _t.Mapping[str, int] | None = None,
+        defrag: _t.Any | None = None,
     ) -> FaSTScheduler:
         """Attach and start the FaST-Scheduler over the given profile DB.
 
@@ -311,6 +317,12 @@ class FaSTGShare:
         windows, and scale-to-zero; ``oracle`` requires explicit
         trace-built ``forecasters``.  ``prewarm`` overrides the default
         :class:`~repro.autoscaler.policy.PreWarmPolicy`.
+
+        ``defrag`` (anything exposing ``threshold`` and
+        ``max_moves_per_tick``, e.g. a :class:`repro.scenario.spec.DefragSpec`)
+        additionally wires the live-migration controller and its background
+        defragmenter into the scheduler tick; with ``None`` (the default)
+        neither exists and no migration code runs.
         """
         from repro.autoscaler.controller import build_autoscaler
 
@@ -356,6 +368,25 @@ class FaSTGShare:
             self.gateway.lifecycle = self.lifecycle
             self.scheduler.lifecycle = self.lifecycle
             predictive.lifecycle = self.lifecycle
+        if defrag is not None:
+            from repro.migrate import Defragmenter, MigrationController
+
+            self.migrator = MigrationController(
+                self.engine,
+                self.cluster,
+                self.gateway,
+                self.controllers,
+                placement=self.scheduler.placement,
+            )
+            self.defragmenter = Defragmenter(
+                self.engine,
+                self.migrator,
+                self.scheduler.placement,
+                self.cluster,
+                threshold=defrag.threshold,
+                max_moves_per_tick=defrag.max_moves_per_tick,
+            )
+            self.scheduler.defragmenter = self.defragmenter
         self.scheduler.start()
         return self.scheduler
 

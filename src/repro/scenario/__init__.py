@@ -20,6 +20,7 @@ from repro.scenario.spec import (
     WORKLOAD_KINDS,
     AutoscalerSpec,
     ClusterSpec,
+    DefragSpec,
     MeasurementSpec,
     Scenario,
     ScenarioError,
@@ -34,6 +35,7 @@ __all__ = [
     "WORKLOAD_KINDS",
     "AutoscalerSpec",
     "ClusterSpec",
+    "DefragSpec",
     "FunctionOutcome",
     "MeasurementSpec",
     "Scenario",

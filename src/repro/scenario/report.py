@@ -106,6 +106,9 @@ class ScenarioReport:
     swap_promotions: int = 0
     demotions: int = 0
     host_evictions: int = 0
+    #: live-migration counts (zero unless ``cluster.defrag`` is configured).
+    migrations: int = 0
+    migration_aborts: int = 0
     #: optional observability block (events/spans/metrics snapshots from
     #: :mod:`repro.obs`); ``None`` — and absent from the serialization —
     #: unless the run recorded telemetry, so telemetry-off reports stay
@@ -186,6 +189,11 @@ class ScenarioReport:
             events["demotions"] = self.demotions
         if self.host_evictions:
             events["host_evictions"] = self.host_evictions
+        # Migration counts likewise: defrag-off reports stay byte-identical.
+        if self.migrations:
+            events["migrations"] = self.migrations
+        if self.migration_aborts:
+            events["migration_aborts"] = self.migration_aborts
         return events
 
     def to_json(self) -> str:
@@ -224,6 +232,12 @@ class ScenarioReport:
                 f" / {self.swap_promotions} swap-in / {self.demotions} demote / "
                 f"{self.host_evictions} evict-host"
                 if (self.swap_promotions or self.demotions or self.host_evictions)
+                else ""
+            )
+            + (
+                f" / {self.migrations} migrate"
+                + (f" ({self.migration_aborts} aborted)" if self.migration_aborts else "")
+                if (self.migrations or self.migration_aborts)
                 else ""
             ),
             "  function            model       SLO(ms)  done/sub    p95(ms)  viol%  cold-hits",

@@ -258,6 +258,7 @@ def prepare_control_plane(scenario: Scenario, platform: "FaSTGShare") -> Control
             min_replicas_by_function={
                 fn.name: fn.min_replicas for fn in scenario.functions
             },
+            defrag=scenario.cluster.defrag,
         )
         # Initial pods at each function's efficient SLO-feasible point,
         # placed through the scheduler so the policy owns every rectangle.
@@ -318,6 +319,8 @@ class WindowCounters:
     swaps: int = 0
     demotions: int = 0
     evictions: int = 0
+    migrations: int = 0
+    migration_aborts: int = 0
 
     @classmethod
     def capture(cls, platform: "FaSTGShare", scheduler: _t.Any | None) -> "WindowCounters":
@@ -327,6 +330,9 @@ class WindowCounters:
             counters.swaps = platform.lifecycle.promotions
             counters.demotions = platform.lifecycle.demotions
             counters.evictions = platform.lifecycle.evictions
+        if platform.migrator is not None:
+            counters.migrations = platform.migrator.completed
+            counters.migration_aborts = platform.migrator.aborted
         if scheduler is not None:
             counters.events = len(scheduler.events)
             counters.prewarms = scheduler.predictive.prewarms
@@ -451,6 +457,12 @@ def aggregate_report(
     else:
         swap_promotions = demotions = host_evictions = 0
 
+    if platform.migrator is not None:
+        migrations = platform.migrator.completed - before.migrations
+        migration_aborts = platform.migrator.aborted - before.migration_aborts
+    else:
+        migrations = migration_aborts = 0
+
     telemetry_block = None
     if scenario.measurement.telemetry:
         hub = engine.hub
@@ -502,6 +514,8 @@ def aggregate_report(
         swap_promotions=swap_promotions,
         demotions=demotions,
         host_evictions=host_evictions,
+        migrations=migrations,
+        migration_aborts=migration_aborts,
         telemetry=telemetry_block,
         mode=mode,
     )

@@ -316,6 +316,51 @@ class ScenarioFunction:
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
+class DefragSpec:
+    """Background defragmentation knobs (see :mod:`repro.migrate`).
+
+    When present on a cluster, the platform runs the live-migration
+    defragmenter: each scheduler tick it measures cluster fragmentation
+    (1 − largest-free-rectangle / total-free) and, above ``threshold``,
+    starts up to ``max_moves_per_tick`` make-before-break migrations that
+    consolidate scattered rectangles onto fewer GPUs.  Absent (the
+    default), no migration machinery is constructed and runs are
+    byte-identical to older baselines.
+    """
+
+    threshold: float = 0.5
+    max_moves_per_tick: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ScenarioError("cluster.defrag: threshold must be in (0, 1)")
+        if self.max_moves_per_tick < 1:
+            raise ScenarioError("cluster.defrag: max_moves_per_tick must be >= 1")
+
+    def to_dict(self) -> dict:
+        payload: dict[str, _t.Any] = {}
+        defaults = DefragSpec()
+        for field in ("threshold", "max_moves_per_tick"):
+            value = getattr(self, field)
+            if value != getattr(defaults, field):
+                payload[field] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: _t.Any, path: str = "cluster.defrag") -> "DefragSpec":
+        data = _require(payload, path)
+        kwargs: dict[str, _t.Any] = {}
+        if "threshold" in data:
+            kwargs["threshold"] = _number(data.pop("threshold"), f"{path}.threshold")
+        if "max_moves_per_tick" in data:
+            kwargs["max_moves_per_tick"] = _integer(
+                data.pop("max_moves_per_tick"), f"{path}.max_moves_per_tick"
+            )
+        _reject_unknown(data, path)
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
 class ClusterSpec:
     """The serving cluster: per-node GPU types (or N homogeneous nodes).
 
@@ -323,6 +368,8 @@ class ClusterSpec:
     per node is available for ``HOST_RESIDENT`` pods (weights parked off the
     GPU; see :mod:`repro.memtier`).  ``fabric_gbps`` is each node's host↔GPU
     transfer-fabric bandwidth in gigabytes/s (PCIe 3.0 x16 ≈ 16).
+    ``defrag`` (optional) turns on live-migration background
+    defragmentation; absent means no migration machinery at all.
     """
 
     nodes: int | tuple[str, ...] = 1
@@ -331,6 +378,7 @@ class ClusterSpec:
     window: float = 0.1
     host_memory_mb: float | None = None
     fabric_gbps: float = 16.0
+    defrag: DefragSpec | None = None
 
     def __post_init__(self) -> None:
         if self.host_memory_mb is not None and self.host_memory_mb <= 0:
@@ -376,6 +424,8 @@ class ClusterSpec:
             payload["host_memory_mb"] = self.host_memory_mb
         if self.fabric_gbps != 16.0:
             payload["fabric_gbps"] = self.fabric_gbps
+        if self.defrag is not None:
+            payload["defrag"] = self.defrag.to_dict()
         return payload
 
     @classmethod
@@ -389,6 +439,11 @@ class ClusterSpec:
             )
         if "fabric_gbps" in data:
             kwargs["fabric_gbps"] = _number(data.pop("fabric_gbps"), f"{path}.fabric_gbps")
+        if "defrag" in data:
+            raw = data.pop("defrag")
+            kwargs["defrag"] = (
+                None if raw is None else DefragSpec.from_dict(raw, f"{path}.defrag")
+            )
         if "nodes" in data:
             raw = data.pop("nodes")
             if isinstance(raw, bool):

@@ -22,6 +22,7 @@ placed pods, curing accumulated fragmentation.
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
 
 from repro.scheduler.rectangles import EPS, Rect, prune_contained, subtract
@@ -57,6 +58,38 @@ class GPURectangleList:
 
     def free_area(self) -> float:
         return self.width * self.height - self.used_area()
+
+    def largest_free_area(self) -> float:
+        """Area of the largest single free rectangle (0 on a full GPU).
+
+        Computed over the *current* free list — the space placement actually
+        sees, unmerged strips included — so the derived fragmentation signal
+        tracks what would really no-fit, not an idealized geometry.
+        """
+        return max((r.area for r in self.free), default=0.0)
+
+    def fragmentation(self) -> float:
+        """Free-space fragmentation: 1 − largest-free-rect / total-free.
+
+        0.0 means all free space is one contiguous rectangle (or the GPU is
+        effectively full — nothing to fragment); values near 1.0 mean the
+        free area is shredded into slivers no single pod can use.
+        """
+        free = self.free_area()
+        if free <= EPS:
+            return 0.0
+        return max(0.0, 1.0 - self.largest_free_area() / free)
+
+    def clone(self) -> "GPURectangleList":
+        """Independent copy for what-if packing (Rects are immutable)."""
+        other = GPURectangleList.__new__(GPURectangleList)
+        other.width = self.width
+        other.height = self.height
+        other.restructure_threshold = self.restructure_threshold
+        other.free = list(self.free)
+        other.placed = dict(self.placed)
+        other.restructures = self.restructures
+        return other
 
     def best_fit(self, w: float, h: float) -> Rect | None:
         """Minimum-area-difference free rectangle that fits (w, h)."""
@@ -147,6 +180,23 @@ class GPURectangleList:
 #: * ``affinity`` — GPU-type affinity: fastest GPU type (highest speed
 #:   factor) that fits wins, falling back to the bin-pack key among equals.
 PLACEMENT_POLICIES = ("binpack", "spread", "affinity")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MigrationMove:
+    """One planned relocation: re-place ``pod_id`` at ``target`` on ``dst``.
+
+    ``target`` is a rectangle from the destination's free list *at planning
+    time*; executors bind it promptly (same control tick) so it is still
+    free when the destination pod admits.
+    """
+
+    pod_id: str
+    src: str
+    dst: str
+    w: float
+    h: float
+    target: Rect
 
 
 class MaximalRectanglesScheduler:
@@ -309,3 +359,112 @@ class MaximalRectanglesScheduler:
             name: gpu.used_area() / (gpu.width * gpu.height)
             for name, gpu in self.gpus.items()
         }
+
+    # -- fragmentation & defragmentation planning --------------------------------
+    def fragmentation_by_node(self) -> dict[str, float]:
+        """Per-GPU free-space fragmentation (see
+        :meth:`GPURectangleList.fragmentation`)."""
+        return {name: gpu.fragmentation() for name, gpu in self.gpus.items()}
+
+    def cluster_fragmentation(self) -> float:
+        """Cluster-level fragmentation: 1 − largest-free-rect / total-free.
+
+        The largest free rectangle *anywhere* is the biggest pod the cluster
+        can still place, so this ratio is high both when individual GPUs are
+        internally shredded and when free capacity is scattered one sliver
+        per GPU (the spread-policy failure mode) — exactly the states where
+        consolidation migrations pay off.  An idle cluster reads 0.0: with
+        nothing placed there is nothing to consolidate, even though free
+        capacity is split across GPUs.
+        """
+        if not any(gpu.placed for gpu in self.gpus.values()):
+            return 0.0
+        total_free = sum(gpu.free_area() for gpu in self.gpus.values())
+        if total_free <= EPS:
+            return 0.0
+        largest = max(gpu.largest_free_area() for gpu in self.gpus.values())
+        return max(0.0, 1.0 - largest / total_free)
+
+    def plan_migrations(
+        self,
+        max_moves: int,
+        allowed: _t.Callable[[str, str], bool] | None = None,
+        movable: _t.Callable[[str], bool] | None = None,
+    ) -> list[MigrationMove]:
+        """Plan a budgeted consolidation batch (deterministic, read-only).
+
+        Greedy min-cost strategy: source GPUs are visited in ascending
+        (used area, pod count, name) order — the cheapest nodes to vacate —
+        and a node is vacated only if *every* pod on it best-fits somewhere
+        else under a what-if copy of the other free lists (make-before-break:
+        destination rectangles are chosen while the sources still hold their
+        space, which is exactly how execution overlaps them).  Partial
+        evacuations are never planned: they pay migration cost without
+        releasing a GPU.  Destinations must already hold pods in the what-if
+        state: evacuating onto an idle GPU leaves the cluster's GPU count
+        unchanged and would ping-pong the same pods between empty GPUs tick
+        after tick — so every batch strictly reduces GPUs in use (one per
+        vacated node).  ``allowed(pod_id, node)`` vetoes destinations the
+        caller knows are infeasible out-of-band (GPU memory, affinity);
+        ``movable(pod_id)`` vetoes sources (a node holding any unmovable
+        pod — e.g. one still cold-starting — is never a candidate).
+
+        Returns at most ``max_moves`` moves; the receiving GPUs of one batch
+        are never themselves vacated by the same batch.
+        """
+        if max_moves < 1:
+            return []
+        shadow = {name: gpu.clone() for name, gpu in self.gpus.items()}
+        moves: list[MigrationMove] = []
+        emptied: set[str] = set()
+        receivers: set[str] = set()
+        candidates = sorted(
+            (name for name, gpu in self.gpus.items() if gpu.placed),
+            key=lambda n: (self.gpus[n].used_area(), len(self.gpus[n].placed), n),
+        )
+        for src in candidates:
+            if src in receivers or len(moves) >= max_moves:
+                continue
+            pods = sorted(
+                self.gpus[src].placed.items(),
+                key=lambda kv: (-kv[1].area, kv[0]),
+            )
+            if len(moves) + len(pods) > max_moves:
+                continue
+            if movable is not None and not all(movable(pid) for pid, _ in pods):
+                continue
+            trial = {name: gpu.clone() for name, gpu in shadow.items()}
+            node_moves: list[MigrationMove] = []
+            feasible = True
+            for pod_id, rect in pods:
+                best: tuple[str, Rect] | None = None
+                best_key = None
+                for dst, gpu in trial.items():
+                    if dst == src or dst in emptied or not gpu.placed:
+                        continue
+                    if allowed is not None and not allowed(pod_id, dst):
+                        continue
+                    fit = gpu.best_fit(rect.w, rect.h)
+                    if fit is None:
+                        continue
+                    key = (fit.area - rect.area, fit.x, fit.y, dst)
+                    if best_key is None or key < best_key:
+                        best, best_key = (dst, fit), key
+                if best is None:
+                    feasible = False
+                    break
+                dst, fit = best
+                trial[dst].place(pod_id, rect.w, rect.h, target=fit)
+                node_moves.append(
+                    MigrationMove(
+                        pod_id=pod_id, src=src, dst=dst,
+                        w=rect.w, h=rect.h, target=fit,
+                    )
+                )
+            if not feasible:
+                continue
+            shadow = trial
+            moves.extend(node_moves)
+            emptied.add(src)
+            receivers.update(move.dst for move in node_moves)
+        return moves

@@ -126,6 +126,10 @@ class FaSTScheduler:
         #: When set, a scale-up prefers swapping a HOST_RESIDENT pod back in
         #: over placing and cold-starting a fresh one.
         self.lifecycle = None
+        #: background defragmenter (:class:`repro.migrate.Defragmenter`),
+        #: wired by the platform when the scenario carries a
+        #: ``cluster.defrag`` block; ticked at the end of every control tick.
+        self.defragmenter = None
         self.events: list[SchedulerEvent] = []
         self.replica_series: list[tuple[float, dict[str, int]]] = []
         self._last_scale_up: dict[str, float] = {}
@@ -297,6 +301,12 @@ class FaSTScheduler:
                     continue
                 downs_allowed[action.function] -= 1
                 self._apply_down(action)
+
+        # Background defragmentation last: it sees this tick's placements,
+        # and migrations it starts are make-before-break (no capacity dip
+        # for the next tick's gap computation to misread).
+        if self.defragmenter is not None:
+            self.defragmenter.on_tick()
 
         self.replica_series.append(
             (now, {name: c.replica_count for name, c in self.controllers.items()})

@@ -259,7 +259,7 @@ class LiveServer:
                 - self._before.submitted.get(name, 0),
                 "pending": platform.gateway.pending_count(name),
             }
-        return {
+        stats = {
             "clock": engine.clock.mode,
             "time_s": engine.now - self._t0,
             "horizon_s": self._plane.horizon,
@@ -268,6 +268,24 @@ class LiveServer:
             "in_flight": self._in_flight,
             "functions": functions,
         }
+        # Live fragmentation gauges (and migration counts when the
+        # defragmenter is running), computed from the placement state the
+        # moment /stats is answered.
+        scheduler = self._plane.scheduler
+        if scheduler is not None:
+            stats["fragmentation"] = {
+                "cluster": scheduler.placement.cluster_fragmentation(),
+                "nodes": scheduler.placement.fragmentation_by_node(),
+            }
+        migrator = platform.migrator
+        if migrator is not None:
+            stats["migrations"] = {
+                "started": migrator.started,
+                "completed": migrator.completed,
+                "aborted": migrator.aborted,
+                "in_flight": migrator.in_flight,
+            }
+        return stats
 
     async def _invoke(self, name: str) -> tuple[int, dict, bool]:
         if self._draining:

@@ -78,6 +78,10 @@ def cell_metrics(report: ScenarioReport) -> dict[str, _t.Any]:
             o.run.swap_hit_requests for o in report.functions
         )
         metrics["swap_wait_ms_mean"] = sum(all_swap) / len(all_swap) if all_swap else 0.0
+    # Migration counts likewise: defrag-off cells stay byte-identical.
+    if report.migrations or report.migration_aborts:
+        metrics["migrations"] = report.migrations
+        metrics["migration_aborts"] = report.migration_aborts
     return metrics
 
 

@@ -36,7 +36,9 @@ Axes (:data:`SWEEP_AXES`):
 * ``headroom``       — the autoscaler's capacity headroom;
 * ``fabric_gbps``    — per-node host↔GPU transfer bandwidth (GB/s);
 * ``host_memory``    — per-node host-RAM budget in MB (``null`` disables
-  the memory tier entirely).
+  the memory tier entirely);
+* ``defrag``         — background-defragmentation trigger threshold in
+  (0, 1) (``null`` disables live migration entirely, the default).
 
 Validation is strict (:class:`SweepError` with the offending path): unknown
 axes, duplicate axes or values, out-of-range values, a ``fleet_size`` larger
@@ -55,7 +57,7 @@ import zlib
 
 from repro.autoscaler.registry import available_policies
 from repro.gpu.specs import GPU_CATALOG
-from repro.scenario.spec import Scenario, ScenarioError, WorkloadSpec
+from repro.scenario.spec import DefragSpec, Scenario, ScenarioError, WorkloadSpec
 from repro.scheduler.mra import PLACEMENT_POLICIES
 
 #: Format tag written into serialized sweeps (bumped on breaking change).
@@ -71,6 +73,7 @@ SWEEP_AXES = (
     "headroom",
     "fabric_gbps",
     "host_memory",
+    "defrag",
 )
 
 
@@ -188,13 +191,21 @@ class SweepAxis:
                 raise SweepError(f"{path}: expected a number, got {value!r}")
             if value <= 0:
                 raise SweepError(f"{path}: fabric_gbps must be positive, got {value}")
-        else:  # host_memory (MB per node; null disables the host tier)
+        elif self.axis == "host_memory":
+            # MB per node; null disables the host tier.
             if value is not None and (
                 isinstance(value, bool) or not isinstance(value, (int, float))
             ):
                 raise SweepError(f"{path}: expected a number or null, got {value!r}")
             if value is not None and value <= 0:
                 raise SweepError(f"{path}: host_memory must be positive, got {value}")
+        else:  # defrag (trigger threshold; null disables live migration)
+            if value is not None and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+            ):
+                raise SweepError(f"{path}: expected a number or null, got {value!r}")
+            if value is not None and not 0.0 < value < 1.0:
+                raise SweepError(f"{path}: defrag threshold must be in (0, 1), got {value}")
 
     def to_dict(self) -> dict:
         return {
@@ -308,6 +319,14 @@ def apply_axis(scenario: Scenario, axis: str, value: _t.Any) -> Scenario:
             cluster=dataclasses.replace(
                 scenario.cluster,
                 host_memory_mb=None if value is None else float(value),
+            ),
+        )
+    if axis == "defrag":
+        return dataclasses.replace(
+            scenario,
+            cluster=dataclasses.replace(
+                scenario.cluster,
+                defrag=None if value is None else DefragSpec(threshold=float(value)),
             ),
         )
     raise SweepError(f"unknown axis {axis!r}; known: {SWEEP_AXES}")

@@ -354,3 +354,70 @@ def test_serve_gate_rejects_scenario_mismatch(tmp_path, capsys):
     fresh = write(tmp_path, "f.json", make_live_report(quick=False))
     assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
     assert "serve-smoke mismatch" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# migrate kind (defragmentation on-vs-off)
+# ---------------------------------------------------------------------------
+
+
+def make_migrate_report(
+    on_viol: float = 0.20,
+    on_gpus: float = 2.0,
+    improves: bool = True,
+    saving: float = 0.50,
+    fleet_size: int = 6,
+) -> dict:
+    return {
+        "benchmark": "migrate",
+        "nodes": ["V100"] * 4,
+        "fleet_size": fleet_size,
+        "trace": {"seed": 42, "burst": [8.0, 12.0], "tail": [30.0, 0.5]},
+        "threshold": 0.3,
+        "cells": {
+            "off": {"effective_violation_ratio": 0.22, "mean_gpus": 4.0},
+            "on": {"effective_violation_ratio": on_viol, "mean_gpus": on_gpus},
+        },
+        "headline": {"improves": improves, "mean_gpus_saving": saving, "migrations": 10},
+    }
+
+
+def test_migrate_gate_passes_on_identical_reports(tmp_path):
+    baseline = write(tmp_path, "b.json", make_migrate_report())
+    fresh = write(tmp_path, "f.json", make_migrate_report())
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 0
+
+
+def test_migrate_gate_fails_on_violation_growth(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_migrate_report())
+    fresh = write(tmp_path, "f.json", make_migrate_report(on_viol=0.40))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_migrate_gate_fails_on_gpu_growth(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_migrate_report())
+    fresh = write(tmp_path, "f.json", make_migrate_report(on_gpus=3.5))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "mean GPUs regressed" in capsys.readouterr().err
+
+
+def test_migrate_gate_fails_when_improvement_breaks(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_migrate_report())
+    fresh = write(tmp_path, "f.json", make_migrate_report(improves=False))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "no longer strictly improves" in capsys.readouterr().err
+
+
+def test_migrate_gate_fails_on_saving_shrink(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_migrate_report(saving=0.50))
+    fresh = write(tmp_path, "f.json", make_migrate_report(saving=0.10))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 1
+    assert "saving shrank" in capsys.readouterr().err
+
+
+def test_migrate_gate_rejects_fixture_mismatch(tmp_path, capsys):
+    baseline = write(tmp_path, "b.json", make_migrate_report())
+    fresh = write(tmp_path, "f.json", make_migrate_report(fleet_size=10))
+    assert check_regression.main(["--baseline", baseline, "--fresh", fresh]) == 2
+    assert "migrate-bench mismatch" in capsys.readouterr().err

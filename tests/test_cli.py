@@ -316,3 +316,17 @@ def test_duplicate_policies_exit_with_usage(capsys):
         main(["prewarm-bench", "--quick", "--policies", "reactive,reactive"])
     assert excinfo.value.code == 2
     assert "twice" in capsys.readouterr().err
+
+
+def test_migrate_bench_bad_threshold_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["migrate-bench", "--quick", "--threshold", "1.5"])
+    assert excinfo.value.code == 2
+    assert "--threshold" in capsys.readouterr().err
+
+
+def test_migrate_bench_bad_gpu_exits_nonzero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["migrate-bench", "--quick", "--nodes", "V100,H900"])
+    assert excinfo.value.code == 2
+    assert "unknown GPU type" in capsys.readouterr().err

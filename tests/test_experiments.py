@@ -182,3 +182,33 @@ def test_cli_list_and_run(capsys):
     assert main(["run", "fig13", "--quick"]) == 0
     out = capsys.readouterr().out
     assert "Fig. 13" in out and "finished" in out
+
+
+def test_migrate_bench_quick():
+    import json
+
+    from repro.experiments import migrate_bench
+
+    result = migrate_bench.run(quick=True)
+    assert [out.defrag for out in result.outcomes] == ["off", "on"]
+    off, on = result.outcome("off"), result.outcome("on")
+    assert off.migrations == 0 and off.migration_aborts == 0
+    assert on.migrations > 0  # the defragmenter actually acted
+    for out in result.outcomes:
+        assert out.submitted > 0
+        assert 0.0 <= out.effective_violation_ratio <= 1.0
+        assert out.slo_violation_ratio <= out.effective_violation_ratio + 1e-12
+        assert out.unserved_requests == out.submitted - out.completed
+    # The committed quick configuration is the CI gate: the improvement
+    # headline must hold, and migrations must not lose a single request.
+    assert result.improves
+    assert result.mean_gpus_saving > 0
+    assert on.unserved_requests == off.unserved_requests == 0
+    assert "strict improvement" in migrate_bench.format_result(result)
+    payload = migrate_bench.report_payload(result)
+    assert payload["benchmark"] == "migrate"
+    assert payload["headline"]["improves"] is True
+    assert set(payload["cells"]) == {"off", "on"}
+    # jobs=2 replays the same deterministic cells.
+    pooled = migrate_bench.report_payload(migrate_bench.run(quick=True, jobs=2))
+    assert json.dumps(payload, sort_keys=True) == json.dumps(pooled, sort_keys=True)
